@@ -1,0 +1,65 @@
+"""Ablation: impact of the clocking scheme on exact layout area.
+
+Table I's QCA ONE side picks a *different* clocking scheme per function
+(2DDWave, USE, RES, ESR all appear); this ablation quantifies why the
+portfolio must try all of them: the same function is solved exactly on
+every Cartesian scheme and the areas are compared.
+
+Expected shape: no scheme dominates — each function has its own winner,
+and the spread between best and worst scheme is significant (tens of
+percent), matching the per-function scheme diversity of Table I.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from conftest import write_result
+from repro.benchsuite import get_benchmark
+from repro.layout import CARTESIAN_SCHEMES, compute_metrics
+from repro.physical_design import ExactParams, exact_layout
+
+FUNCTIONS = [
+    ("trindade16", "mux21"),
+    ("trindade16", "xor2"),
+    ("trindade16", "xnor2"),
+    ("trindade16", "half_adder"),
+]
+
+EXACT_BUDGET = dict(timeout=12.0, ratio_timeout=1.0)
+
+
+def run_ablation() -> str:
+    lines = ["Exact area per Cartesian clocking scheme", "=" * 64]
+    lines.append(f"{'function':14s} " + " ".join(f"{s.name:>9s}" for s in CARTESIAN_SCHEMES))
+    for suite, name in FUNCTIONS:
+        net = get_benchmark(suite, name).build()
+        cells = []
+        for scheme in CARTESIAN_SCHEMES:
+            result = exact_layout(net, ExactParams(scheme=scheme, **EXACT_BUDGET))
+            if result.layout is None:
+                cells.append("timeout")
+            else:
+                cells.append(str(compute_metrics(result.layout).area))
+        lines.append(f"{name:14s} " + " ".join(f"{c:>9s}" for c in cells))
+        print(lines[-1], flush=True)
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_clocking_scheme_ablation(benchmark):
+    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    path = write_result("ablation_clocking.txt", text)
+    print(f"\n{text}\nwritten to {path}")
+    assert "mux21" in text
+
+
+if __name__ == "__main__":
+    output = run_ablation()
+    print(output)
+    print("written to", write_result("ablation_clocking.txt", output))

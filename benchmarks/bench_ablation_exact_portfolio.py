@@ -1,0 +1,78 @@
+"""Ablation: why the best-layout portfolio beats every single tool.
+
+Table I's ΔA column measures the area reduction of the *optimal tool
+combination* over the previous state of the art.  This ablation
+recreates that comparison locally: for each small function, the area of
+every individual flow (plain ortho, ortho+InOrd+PLO, NanoPlaceR, exact
+per scheme) is printed next to the portfolio winner.
+
+Expected shape: the portfolio column equals the minimum of its inputs
+(it is a verified argmin); no single flow achieves that minimum across
+all functions, reproducing the paper's core argument for shipping
+per-function optimal combinations.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from conftest import write_result
+from repro.benchsuite import get_benchmark
+from repro.core import QCA_ONE, BestParams, best_layout
+
+FUNCTIONS = [
+    ("trindade16", "mux21"),
+    ("trindade16", "xor2"),
+    ("trindade16", "xnor2"),
+    ("trindade16", "par_gen"),
+    ("fontes18", "1bitaddermaj"),
+]
+
+PARAMS = BestParams(
+    exact_timeout=8.0,
+    exact_ratio_timeout=1.0,
+    nanoplacer_timeout=4.0,
+    inord_evaluations=6,
+    inord_timeout=20.0,
+    plo_timeout=15.0,
+)
+
+
+def run_ablation() -> str:
+    lines = ["Portfolio vs. individual flows (areas in tiles)", "=" * 80]
+    winners = {}
+    for suite, name in FUNCTIONS:
+        net = get_benchmark(suite, name).build()
+        result = best_layout(net, QCA_ONE, PARAMS)
+        assert result.succeeded
+        lines.append(f"\n{suite}/{name}: winner = {result.winner.algorithm_label} "
+                     f"/ {result.winner.scheme} (A = {result.winner.metrics.area})")
+        for candidate in result.candidates:
+            marker = " <== winner" if candidate is result.winner else ""
+            lines.append(
+                f"    {candidate.algorithm_label:32s} {candidate.scheme:8s} "
+                f"A={candidate.metrics.area:5d}{marker}"
+            )
+        winners[name] = result.winner.algorithm_label
+        print(lines[-1], flush=True)
+    lines.append("\nwinning flows: " + ", ".join(f"{k}→{v}" for k, v in winners.items()))
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_exact_portfolio_ablation(benchmark):
+    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    path = write_result("ablation_exact_portfolio.txt", text)
+    print(f"\n{text}\nwritten to {path}")
+    assert "winner" in text
+
+
+if __name__ == "__main__":
+    output = run_ablation()
+    print(output)
+    print("written to", write_result("ablation_exact_portfolio.txt", output))

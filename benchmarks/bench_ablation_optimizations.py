@@ -1,0 +1,107 @@
+"""Ablation: contribution of each optimization to the heuristic flow.
+
+Table I's Algorithm column stacks ``ortho, InOrd (SDN), [45°,] PLO`` —
+this ablation decomposes that stack: for each function, the area after
+plain ortho, ortho + InOrd, ortho + PLO, ortho + InOrd + PLO, and (for
+the hexagonal target) each of those after the 45° mapping.
+
+Expected shape: each optimization contributes a monotone, non-negative
+area reduction; InOrd dominates on input-order-sensitive functions
+(e.g. multiplexer trees) while PLO dominates on fabric-slack-heavy
+sparse layouts; their combination is the portfolio's heuristic winner,
+which is why Table I never lists plain ortho.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from conftest import node_cap, write_result
+from repro.benchsuite import get_benchmark
+from repro.optimization import (
+    InputOrderingParams,
+    PostLayoutParams,
+    input_ordering,
+    post_layout_optimization,
+    to_hexagonal,
+    wiring_reduction,
+)
+from repro.physical_design import OrthoParams, orthogonal_layout
+
+FUNCTIONS = [
+    ("trindade16", "full_adder"),
+    ("trindade16", "par_check"),
+    ("fontes18", "xor5maj"),
+    ("fontes18", "parity"),
+]
+
+PLO = PostLayoutParams(timeout=25.0, max_passes=10)
+INORD = InputOrderingParams(max_evaluations=6, timeout=25.0)
+
+
+def area_of(layout) -> int:
+    width, height = layout.bounding_box()
+    return width * height
+
+
+def run_ablation() -> str:
+    lines = ["Optimization stack ablation (areas in tiles)", "=" * 88]
+    lines.append(
+        f"{'function':12s} {'ortho':>8s} {'+InOrd':>8s} {'+PLO':>8s} "
+        f"{'+InOrd+PLO':>11s} {'+WR':>8s} {'+45°':>9s} {'+all+45°':>9s}"
+    )
+    cap = node_cap()
+    for suite, name in FUNCTIONS:
+        net = get_benchmark(suite, name).build(cap)
+        plain = orthogonal_layout(net).layout
+        a_plain = area_of(plain)
+
+        inord = input_ordering(net, INORD)
+        a_inord = area_of(inord.layout)
+
+        plo_only = post_layout_optimization(
+            orthogonal_layout(net).layout, PLO
+        )
+        a_plo = plo_only.area_after
+
+        combined = post_layout_optimization(inord.layout.clone(), PLO)
+        a_combined = combined.area_after
+
+        reduced = wiring_reduction(combined.layout)
+        a_reduced = reduced.area_after
+
+        a_hex_plain = to_hexagonal(orthogonal_layout(net).layout).hexagonal_area
+        a_hex_all = to_hexagonal(reduced.layout).hexagonal_area
+
+        lines.append(
+            f"{name:12s} {a_plain:8d} {a_inord:8d} {a_plo:8d} "
+            f"{a_combined:11d} {a_reduced:8d} {a_hex_plain:9d} {a_hex_all:9d}"
+        )
+        print(lines[-1], flush=True)
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_optimization_ablation(benchmark):
+    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    path = write_result("ablation_optimizations.txt", text)
+    print(f"\n{text}\nwritten to {path}")
+
+    # The combined stack must not be worse than plain ortho on any row.
+    rows = [l for l in text.splitlines() if l and l[0].isalpha() and "ortho" not in l]
+    for row in rows:
+        fields = row.split()
+        plain, combined, reduced = int(fields[1]), int(fields[4]), int(fields[5])
+        assert combined <= plain, row
+        assert reduced <= combined, row
+
+
+if __name__ == "__main__":
+    output = run_ablation()
+    print(output)
+    print("written to", write_result("ablation_optimizations.txt", output))

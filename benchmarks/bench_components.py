@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the library's core operations.
+
+Not a paper artifact, but the performance contract of the reproduction
+as a library: file-format throughput, router latency, placement speed,
+and verification cost on fixed, deterministic workloads.  These run in
+seconds and give pytest-benchmark real statistics (multiple rounds).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.io import fgl_to_layout, layout_to_fgl
+from repro.layout import check_layout, layout_equivalent
+from repro.networks import network_to_verilog, parse_verilog
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder
+from repro.optimization import to_hexagonal
+from repro.physical_design import (
+    OrthoParams,
+    RoutingOptions,
+    find_path,
+    orthogonal_layout,
+)
+from repro.layout.coordinates import Tile
+
+
+@pytest.fixture(scope="module")
+def medium_network():
+    return generate_network(GeneratorSpec("bench", 10, 4, 150, seed=7, locality=0.5))
+
+
+@pytest.fixture(scope="module")
+def medium_layout(medium_network):
+    return orthogonal_layout(medium_network, OrthoParams(compact=False)).layout
+
+
+@pytest.mark.benchmark(group="io")
+def test_fgl_write_throughput(benchmark, medium_layout):
+    text = benchmark(layout_to_fgl, medium_layout)
+    assert "<fgl>" in text
+
+
+@pytest.mark.benchmark(group="io")
+def test_fgl_read_throughput(benchmark, medium_layout):
+    text = layout_to_fgl(medium_layout)
+    layout = benchmark(fgl_to_layout, text)
+    assert len(layout) == len(medium_layout)
+
+
+@pytest.mark.benchmark(group="io")
+def test_verilog_roundtrip_throughput(benchmark, medium_network):
+    text = network_to_verilog(medium_network)
+    network = benchmark(parse_verilog, text)
+    # The writer serialises only the live logic (nodes reaching a PO),
+    # so compare the interface, not the raw gate count.
+    assert network.num_pis() == medium_network.num_pis()
+    assert network.num_pos() == medium_network.num_pos()
+
+
+@pytest.mark.benchmark(group="routing")
+def test_router_latency(benchmark, medium_layout):
+    source = medium_layout.pis()[0]
+    target = Tile(medium_layout.width - 1, medium_layout.height - 1)
+
+    def route_once():
+        return find_path(medium_layout, source, target, RoutingOptions())
+
+    benchmark(route_once)
+
+
+@pytest.mark.benchmark(group="placement")
+def test_ortho_sparse_speed(benchmark, medium_network):
+    result = benchmark(orthogonal_layout, medium_network, OrthoParams(compact=False))
+    assert result.layout.num_gates() > 0
+
+
+@pytest.mark.benchmark(group="placement")
+def test_hexagonalization_speed(benchmark, medium_layout):
+    result = benchmark(to_hexagonal, medium_layout)
+    assert result.layout.num_gates() == medium_layout.num_gates()
+
+
+@pytest.mark.benchmark(group="verification")
+def test_drc_speed(benchmark, medium_layout):
+    report = benchmark(check_layout, medium_layout)
+    assert report.ok
+
+
+@pytest.mark.benchmark(group="verification")
+def test_equivalence_speed(benchmark):
+    net = full_adder()
+    layout = orthogonal_layout(net).layout
+    result = benchmark(layout_equivalent, layout, net)
+    assert result.equivalent

@@ -1,0 +1,103 @@
+"""Figure 1 reproduction — the MNT Bench selection website.
+
+Builds a local benchmark database for the Trindade16 and (small)
+Fontes18 functions across both gate libraries, then exercises every
+facet of the selection form the paper's Figure 1 shows: abstraction
+level, gate library, clocking scheme, physical design algorithm and
+optimization algorithm — printing the facet counts (the website's
+sidebar numbers) and the file lists each filter configuration returns.
+
+Expected shape: both abstraction levels are populated; QCA ONE files
+span {2DDWave, USE, RES, ESR} while every Bestagon file is ROW-clocked;
+``exact`` appears only for the small functions; the "most optimal: Best"
+query returns exactly one layout per (function, library) pair and its
+area never exceeds any other file's for the same pair.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from conftest import write_result
+from repro.benchsuite import benchmarks_of, get_benchmark
+from repro.core import BenchmarkDatabase, GenerationParams, Selection, facet_counts
+
+GENERATION = GenerationParams(
+    exact_timeout=3.0,
+    exact_ratio_timeout=0.5,
+    nanoplacer_timeout=2.0,
+    inord_evaluations=4,
+    inord_timeout=12.0,
+    plo_timeout=10.0,
+    node_cap=80,
+)
+
+SPECS = benchmarks_of("trindade16") + [
+    get_benchmark("fontes18", "1bitaddermaj"),
+    get_benchmark("fontes18", "b1_r2"),
+]
+
+
+def build_database(root) -> BenchmarkDatabase:
+    db = BenchmarkDatabase(root)
+    db.generate(SPECS, params=GENERATION)
+    return db
+
+
+def run_selection_views(db: BenchmarkDatabase) -> str:
+    lines = ["MNT Bench selection interface (Figure 1 facets)", "=" * 72]
+
+    lines.append("\n-- facet counts (the website's sidebar) --")
+    for facet, values in facet_counts(db.files()).items():
+        lines.append(f"{facet}:")
+        for value, count in sorted(values.items()):
+            lines.append(f"    {value:24s} {count:4d}")
+
+    views = [
+        ("Network (.v) files", Selection.make(abstraction_levels="network")),
+        ("QCA ONE layouts", Selection.make(gate_libraries=["qca one"])),
+        ("Bestagon layouts", Selection.make(gate_libraries=["bestagon"])),
+        ("exact layouts", Selection.make(algorithms=["exact"])),
+        ("ortho + PLO layouts", Selection.make(algorithms=["ortho"], optimizations=["plo"])),
+        ("USE-clocked layouts", Selection.make(clocking_schemes=["use"])),
+        ("most optimal: Best", Selection.make(best_only=True)),
+    ]
+    for title, selection in views:
+        hits = db.query(selection)
+        lines.append(f"\n-- {title}: {len(hits)} file(s) --")
+        for record in hits:
+            area = f"A={record.area}" if record.area is not None else ""
+            lines.append(f"    {record.path:58s} {area}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_selection_interface(benchmark, tmp_path):
+    db = build_database(tmp_path / "db")
+    text = benchmark.pedantic(run_selection_views, args=(db,), rounds=1, iterations=1)
+    path = write_result("figure1_selection.txt", text)
+    print(f"\n{text}\nwritten to {path}")
+
+    # Structural assertions on the facet semantics.
+    counts = facet_counts(db.files())
+    assert counts["abstraction_level"]["network"] == len(SPECS)
+    assert set(counts["gate_library"]) == {"QCA ONE", "Bestagon"}
+    bestagon = db.query(Selection.make(gate_libraries=["bestagon"]))
+    assert bestagon and all(r.clocking_scheme == "ROW" for r in bestagon)
+    best = db.query(Selection.make(best_only=True))
+    keys = [(r.suite, r.name, r.gate_library) for r in best]
+    assert len(keys) == len(set(keys))
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        database = build_database(Path(tmp) / "db")
+        output = run_selection_views(database)
+        print(output)
+        print("written to", write_result("figure1_selection.txt", output))

@@ -1,0 +1,97 @@
+"""Scalability: runtime versus network size per algorithm.
+
+Table I's runtime column ``t`` tells a scaling story: exact runs into
+minutes (or its budget) beyond a few dozen nodes, NanoPlaceR handles
+small/medium functions, and ortho finishes every ISCAS85/EPFL circuit
+in (sub-)seconds.  This harness reproduces the curve on a deterministic
+synthetic size sweep.
+
+Expected shape: ortho's runtime grows roughly linearly and stays in
+seconds at N = 1000+; NanoPlaceR's per-rollout cost makes it orders of
+magnitude slower and it refuses beyond its envelope; exact only
+completes the smallest instance within its budget.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from conftest import FULL_RUN, write_result
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.physical_design import (
+    ExactParams,
+    NanoPlaceRParams,
+    NanoPlaceRScaleError,
+    OrthoParams,
+    exact_layout,
+    nanoplacer_layout,
+    orthogonal_layout,
+)
+
+SIZES = (10, 30, 100, 300, 1000) if not FULL_RUN else (10, 30, 100, 300, 1000, 3000)
+
+
+def network_of(size: int):
+    return generate_network(
+        GeneratorSpec(f"scale{size}", max(4, size // 10), 2, size, seed=42, locality=0.5)
+    )
+
+
+def run_sweep() -> str:
+    lines = ["Runtime vs. network size (seconds; '—' = refused/budget)", "=" * 64]
+    lines.append(f"{'N':>6s} {'ortho':>10s} {'NPR':>10s} {'exact':>10s}")
+    for size in SIZES:
+        net = network_of(size)
+
+        started = time.monotonic()
+        orthogonal_layout(net, OrthoParams(compact=False))
+        t_ortho = time.monotonic() - started
+
+        try:
+            npr = nanoplacer_layout(
+                net, NanoPlaceRParams(timeout=8.0, max_rollouts=4, max_gates=200)
+            )
+            t_npr = f"{npr.runtime_seconds:10.2f}" if npr.succeeded else "         —"
+        except NanoPlaceRScaleError:
+            t_npr = "         —"
+
+        exact = exact_layout(net, ExactParams(timeout=5.0, ratio_timeout=0.8))
+        t_exact = f"{exact.runtime_seconds:10.2f}" if exact.succeeded else "         —"
+
+        lines.append(f"{size:6d} {t_ortho:10.2f} {t_npr} {t_exact}")
+        print(lines[-1], flush=True)
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_sweep(benchmark):
+    text = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    path = write_result("scalability.txt", text)
+    print(f"\n{text}\nwritten to {path}")
+
+    # ortho must complete the largest instance within seconds.
+    last = [l for l in text.splitlines() if l.strip() and l.split()[0].isdigit()][-1]
+    assert float(last.split()[1]) < 60.0
+
+
+@pytest.mark.benchmark(group="scalability")
+@pytest.mark.parametrize("size", [30, 100, 300])
+def test_ortho_runtime_curve(benchmark, size):
+    """Per-size ortho timing, measured by pytest-benchmark itself."""
+    net = network_of(size)
+    result = benchmark.pedantic(
+        orthogonal_layout, args=(net, OrthoParams(compact=False)), rounds=1, iterations=1
+    )
+    assert result.layout.num_gates() > 0
+
+
+if __name__ == "__main__":
+    output = run_sweep()
+    print(output)
+    print("written to", write_result("scalability.txt", output))

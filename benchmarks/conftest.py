@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every harness regenerates one of the paper's artifacts (Table I, the
+Figure 1 facet view, or one of the ablations DESIGN.md §3 lists) and is
+runnable both under ``pytest benchmarks/ --benchmark-only`` and as a
+plain script (``python benchmarks/bench_table1.py``).
+
+Environment knobs:
+
+* ``MNT_BENCH_FULL=1`` — run every benchmark at its full published node
+  count (hours of runtime); the default trims the ISCAS85/EPFL suites to
+  representatives and caps synthetic circuits at a few hundred nodes.
+* ``MNT_BENCH_NODE_CAP=<n>`` — override the synthetic node cap.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_RUN = os.environ.get("MNT_BENCH_FULL", "") == "1"
+
+
+def node_cap() -> int | None:
+    if FULL_RUN:
+        return None
+    override = os.environ.get("MNT_BENCH_NODE_CAP")
+    return int(override) if override else 150
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path

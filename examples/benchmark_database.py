@@ -1,0 +1,61 @@
+"""A local MNT Bench: generate, browse and filter benchmark artifacts.
+
+Run with ``python examples/benchmark_database.py``.
+
+Reproduces the user journey of the MNT Bench website (the paper's
+Figure 1): a researcher developing a new physical design tool generates
+the reference artifacts for a benchmark set, browses the facet counts,
+filters down to the configuration they want to compare against, and
+pulls the area-best layout per function as their baseline.
+"""
+
+from pathlib import Path
+
+from repro import BenchmarkDatabase, GenerationParams, Selection, facet_counts
+from repro.benchsuite import benchmarks_of
+
+
+def main() -> None:
+    root = Path("mnt_bench_db")
+    db = BenchmarkDatabase(root)
+
+    if not db.files():
+        print("generating artifacts for the Trindade16 suite "
+              "(both gate libraries, every algorithm)...")
+        specs = benchmarks_of("trindade16")[:4]
+        created = db.generate(
+            specs,
+            params=GenerationParams(
+                exact_timeout=4.0, exact_ratio_timeout=0.6, node_cap=100
+            ),
+        )
+        print(f"  {len(created)} artifact(s) written under {root}/")
+
+    print("\nfacet counts (the website sidebar):")
+    for facet, values in facet_counts(db.files()).items():
+        row = ", ".join(f"{value}: {count}" for value, count in sorted(values.items()))
+        print(f"  {facet:18s} {row}")
+
+    print("\nall exact layouts on feedback-capable schemes (USE/RES/ESR):")
+    for record in db.query(
+        Selection.make(algorithms=["exact"], clocking_schemes=["use", "res", "esr"])
+    ):
+        print(f"  {record.path:58s} A={record.area}")
+
+    print("\n'most optimal: Best' — the per-function area champions:")
+    for record in db.query(Selection.make(best_only=True)):
+        print(
+            f"  {record.name:12s} {record.gate_library:8s} "
+            f"{record.width}x{record.height}={record.area:5d} "
+            f"({record.algorithm}{', ' + ', '.join(record.optimizations) if record.optimizations else ''})"
+        )
+
+    best = db.query(Selection.make(best_only=True, gate_libraries=["qca one"]))
+    if best:
+        layout = db.load_layout(best[0])
+        print(f"\nchampion layout for {best[0].name} reloaded from disk:")
+        print(layout.render())
+
+
+if __name__ == "__main__":
+    main()

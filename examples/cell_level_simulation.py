@@ -1,0 +1,49 @@
+"""Verify a layout at the QCA cell level with the bistable engine.
+
+Run with ``python examples/cell_level_simulation.py``.
+
+The deepest verification loop the reproduction offers: a logic network
+is placed (gate level), compiled with the QCA ONE standard cells (cell
+level), and then *physically* simulated — every cell carries a
+polarisation, diagonal neighbours anti-align, the four-phase clock
+moves the computation wavefront — and the resulting truth table is
+compared against the specification.  This is the "simulation" use of
+MNT Bench artifacts, normally done by exporting to QCADesigner.
+"""
+
+from repro.celllayout import check_qca_cells, check_qca_functional, simulate_qca
+from repro.gatelibs import apply_qca_one
+from repro.networks.library import half_adder
+from repro.physical_design import orthogonal_layout
+
+
+def main() -> None:
+    network = half_adder()
+    print(f"specification: {network.name}, truth tables "
+          f"{[t.to_hex() for t in network.simulate()]}")
+
+    layout = orthogonal_layout(network).layout
+    print("\ngate level:")
+    print(layout.render())
+
+    cells = apply_qca_one(layout)
+    print(f"\ncell level: {cells.num_cells()} QCA cells "
+          f"({cells.num_crossing_cells()} on crossing planes)")
+    report = check_qca_cells(cells)
+    print(f"cell DRC: {report.summary()}")
+
+    print("\nbistable simulation, all input vectors:")
+    for a in (False, True):
+        for b in (False, True):
+            result = simulate_qca(cells, {"a": a, "b": b})
+            print(f"  a={int(a)} b={int(b)} -> sum={int(result.outputs['sum'])} "
+                  f"carry={int(result.outputs['carry'])} "
+                  f"({result.phase_steps} phase steps)")
+
+    equivalent, counterexample = check_qca_functional(cells, network)
+    assert equivalent, counterexample
+    print("\ncell-level behaviour matches the specification exhaustively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Explore how the clocking scheme shapes an exact layout.
+
+Run with ``python examples/explore_clocking_schemes.py``.
+
+Solves the same function exactly on every Cartesian clocking scheme and
+on the hexagonal ROW grid, rendering each result.  This is the
+experiment behind Table I's per-function scheme diversity: 2DDWave's
+unidirectional flow gives the router no slack, while USE/RES/ESR admit
+feedback loops that sometimes buy a smaller bounding box — and no
+scheme wins everywhere, which is why MNT Bench publishes all of them.
+"""
+
+from repro import ExactParams, Topology, check_layout, compute_metrics, exact_layout
+from repro.layout import CARTESIAN_SCHEMES, ROW
+from repro.networks.library import xor2
+
+
+def main() -> None:
+    network = xor2()
+    print(f"function: {network.name}, truth table 0x{network.simulate()[0].to_hex()}\n")
+
+    targets = [(scheme, Topology.CARTESIAN) for scheme in CARTESIAN_SCHEMES]
+    targets.append((ROW, Topology.HEXAGONAL_EVEN_ROW))
+
+    for scheme, topology in targets:
+        result = exact_layout(
+            network,
+            ExactParams(scheme=scheme, topology=topology, timeout=15, ratio_timeout=1.2),
+        )
+        grid = topology.short_name
+        if not result.succeeded:
+            print(f"== {scheme.name} ({grid}): no layout within budget "
+                  f"({result.runtime_seconds:.1f}s)\n")
+            continue
+        layout = result.layout
+        assert check_layout(layout).ok
+        metrics = compute_metrics(layout)
+        print(f"== {scheme.name} ({grid}): {metrics.width}x{metrics.height}"
+              f"={metrics.area} tiles, {metrics.num_wires} wires, "
+              f"found in {result.runtime_seconds:.1f}s")
+        print(layout.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Render a gallery of benchmark layouts as SVG drawings.
+
+Run with ``python examples/layout_gallery.py``.
+
+For a handful of benchmark functions, runs the heuristic flow on both
+grid types and writes browsable SVG files (clock zones tinted, signal
+flow drawn as arrows, crossing wires dashed) next to a structural
+profile of each network — the visual material the MNT Bench website
+shows for every published layout.
+"""
+
+from pathlib import Path
+
+from repro import (
+    orthogonal_layout,
+    post_layout_optimization,
+    to_hexagonal,
+)
+from repro.benchsuite import get_benchmark
+from repro.layout import compute_metrics, write_svg
+from repro.networks import format_profile
+
+GALLERY = [
+    ("trindade16", "mux21"),
+    ("trindade16", "full_adder"),
+    ("fontes18", "1bitaddermaj"),
+    ("fontes18", "majority"),
+]
+
+
+def main() -> None:
+    out_dir = Path("gallery")
+    out_dir.mkdir(exist_ok=True)
+
+    for suite, name in GALLERY:
+        spec = get_benchmark(suite, name)
+        network = spec.build()
+        print(format_profile(network))
+
+        optimised = post_layout_optimization(orthogonal_layout(network).layout)
+        cartesian = optimised.layout
+        hexagonal = to_hexagonal(cartesian).layout
+
+        cart_path = out_dir / f"{name}_cartesian.svg"
+        hex_path = out_dir / f"{name}_hexagonal.svg"
+        write_svg(cartesian, cart_path)
+        write_svg(hexagonal, hex_path)
+        print(f"  cartesian {compute_metrics(cartesian)}")
+        print(f"  hexagonal {compute_metrics(hexagonal)}")
+        print(f"  -> {cart_path} / {hex_path}\n")
+
+    print(f"gallery written to {out_dir}/ — open the SVGs in any browser")
+
+
+if __name__ == "__main__":
+    main()

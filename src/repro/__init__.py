@@ -1,0 +1,158 @@
+"""MNT Bench reproduction — benchmarking software and layout libraries
+for Field-coupled Nanocomputing.
+
+This package reimplements, in pure Python, the complete system behind
+*MNT Bench* (Hofmann, Walter, Wille — DATE 2024): logic networks with
+Verilog I/O, clocked gate-level layouts on Cartesian and hexagonal
+grids, the physical design algorithms (exact, ortho, NanoPlaceR), the
+optimisations (post-layout optimisation, input ordering, 45°
+hexagonalization), the QCA ONE and Bestagon gate libraries, the ``.fgl``
+gate-level file format, the benchmark suites of Table I, and the
+benchmark database / selection platform itself.
+
+Quickstart::
+
+    from repro import orthogonal_layout, check_layout, layout_equivalent
+    from repro.networks.library import full_adder
+
+    net = full_adder()
+    result = orthogonal_layout(net)
+    assert check_layout(result.layout).ok
+    assert layout_equivalent(result.layout, net)
+    print(result.layout.render())
+
+See ``examples/`` for complete flows and ``benchmarks/`` for the
+harnesses regenerating the paper's Table I and Figure 1.
+"""
+
+from .networks import (
+    GateType,
+    GeneratorSpec,
+    LogicNetwork,
+    TruthTable,
+    check_equivalence,
+    decompose_to_aoig,
+    generate_network,
+    network_to_verilog,
+    parse_verilog,
+    prepare_for_layout,
+    propagate_constants,
+    read_verilog,
+    write_verilog,
+)
+from .layout import (
+    CARTESIAN_SCHEMES,
+    ESR,
+    HEXAGONAL_SCHEMES,
+    RES,
+    ROW,
+    TWODDWAVE,
+    USE,
+    ClockingScheme,
+    GateLayout,
+    LayoutMetrics,
+    Tile,
+    Topology,
+    check_layout,
+    compute_metrics,
+    get_scheme,
+    layout_equivalent,
+    verify_layout,
+)
+from .physical_design import (
+    ExactParams,
+    ExactResult,
+    NanoPlaceRParams,
+    NanoPlaceRResult,
+    OrthoParams,
+    OrthoResult,
+    exact_layout,
+    nanoplacer_layout,
+    orthogonal_layout,
+)
+from .optimization import (
+    InputOrderingParams,
+    PostLayoutParams,
+    input_ordering,
+    post_layout_optimization,
+    to_hexagonal,
+)
+from .gatelibs import BESTAGON, QCA_ONE, apply_gate_library
+from .io import read_fgl, write_fgl
+from .benchsuite import all_benchmarks, benchmarks_of, get_benchmark, suites
+from .core import (
+    BenchmarkDatabase,
+    BestParams,
+    GenerationParams,
+    Selection,
+    best_layout,
+    facet_counts,
+    format_table,
+    table_row,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BESTAGON",
+    "BenchmarkDatabase",
+    "BestParams",
+    "CARTESIAN_SCHEMES",
+    "ClockingScheme",
+    "ESR",
+    "ExactParams",
+    "ExactResult",
+    "GateLayout",
+    "GateType",
+    "GenerationParams",
+    "GeneratorSpec",
+    "HEXAGONAL_SCHEMES",
+    "InputOrderingParams",
+    "LayoutMetrics",
+    "LogicNetwork",
+    "NanoPlaceRParams",
+    "NanoPlaceRResult",
+    "OrthoParams",
+    "OrthoResult",
+    "PostLayoutParams",
+    "QCA_ONE",
+    "RES",
+    "ROW",
+    "Selection",
+    "TWODDWAVE",
+    "Tile",
+    "Topology",
+    "TruthTable",
+    "USE",
+    "all_benchmarks",
+    "apply_gate_library",
+    "benchmarks_of",
+    "best_layout",
+    "check_equivalence",
+    "check_layout",
+    "compute_metrics",
+    "decompose_to_aoig",
+    "exact_layout",
+    "facet_counts",
+    "format_table",
+    "generate_network",
+    "get_benchmark",
+    "get_scheme",
+    "input_ordering",
+    "layout_equivalent",
+    "nanoplacer_layout",
+    "network_to_verilog",
+    "orthogonal_layout",
+    "parse_verilog",
+    "post_layout_optimization",
+    "prepare_for_layout",
+    "propagate_constants",
+    "read_fgl",
+    "read_verilog",
+    "suites",
+    "table_row",
+    "to_hexagonal",
+    "verify_layout",
+    "write_fgl",
+    "write_verilog",
+]

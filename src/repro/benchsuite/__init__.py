@@ -1,0 +1,17 @@
+"""Benchmark suites of the paper's Table I."""
+
+from .registry import (
+    BenchmarkSpec,
+    all_benchmarks,
+    benchmarks_of,
+    get_benchmark,
+    suites,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "all_benchmarks",
+    "benchmarks_of",
+    "get_benchmark",
+    "suites",
+]

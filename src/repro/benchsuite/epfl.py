@@ -1,0 +1,26 @@
+"""The EPFL combinational benchmark suite [14].
+
+All circuits are deterministic synthetic networks with the real suite's
+published interfaces and the node counts the paper's Table I reports
+(DESIGN.md §4 — the originals are not redistributable here).  These are
+the scalability stress cases of Table I: only ortho-based flows handle
+them.
+"""
+
+from __future__ import annotations
+
+from .registry import synthetic
+
+SUITE = "epfl"
+
+synthetic(SUITE, "ctrl", 7, 26, 409, seed=9001)
+synthetic(SUITE, "router", 60, 30, 490, seed=9002)
+synthetic(SUITE, "int2float", 11, 7, 545, seed=9003)
+synthetic(SUITE, "cavlc", 10, 11, 1600, seed=9004)
+synthetic(SUITE, "priority", 128, 8, 2349, seed=9005)
+synthetic(SUITE, "dec", 8, 256, 320, seed=9006)
+synthetic(SUITE, "i2c", 147, 142, 2728, seed=9007)
+synthetic(SUITE, "adder", 256, 129, 2541, seed=9008)
+synthetic(SUITE, "bar", 135, 128, 6672, seed=9009)
+synthetic(SUITE, "max", 512, 130, 6110, seed=9010)
+synthetic(SUITE, "sin", 24, 25, 11437, seed=9011)

@@ -1,0 +1,68 @@
+"""The Fontes18 benchmark set [12].
+
+The adder family, the majority/XOR functions and the parity function
+are implemented as their actual Boolean functions; the four MCNC-derived
+circuits (*t*, *b1_r2*, *newtag*, *clpl*) — whose netlists are not
+redistributable here — are deterministic synthetic networks with the
+published interface and node counts (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from ..networks import library
+from ..networks.logic_network import LogicNetwork
+from .registry import exact_function, synthetic
+
+SUITE = "fontes18"
+
+
+def _majority_5() -> LogicNetwork:
+    """Five-input majority, decomposed by conditioning on the last input.
+
+    ``MAJ5(a..e) = e ? atleast2(a,b,c,d) : atleast3(a,b,c,d)`` with the
+    threshold functions built from two-level AND/OR logic; correctness
+    is locked down by an exhaustive test in the suite's test module.
+    """
+    ntk = LogicNetwork("majority_5")
+    a, b, c, d, e = (ntk.create_pi(n) for n in "abcde")
+    ab = ntk.create_and(a, b)
+    cd = ntk.create_and(c, d)
+    a_or_b = ntk.create_or(a, b)
+    c_or_d = ntk.create_or(c, d)
+    atleast2 = ntk.create_or(ntk.create_or(ab, cd), ntk.create_and(a_or_b, c_or_d))
+    atleast3 = ntk.create_or(
+        ntk.create_and(ab, c_or_d), ntk.create_and(cd, a_or_b)
+    )
+    ntk.create_po(ntk.create_mux(e, atleast2, atleast3), "f")
+    return ntk
+
+
+exact_function(SUITE, "1bitadderaoig", 3, 2, 15,
+               lambda: _renamed(library.full_adder(), "1bitadderaoig"))
+exact_function(SUITE, "1bitaddermaj", 3, 2, 10,
+               lambda: _renamed(library.full_adder_maj(), "1bitaddermaj"))
+exact_function(SUITE, "2bitaddermaj", 5, 3, 29,
+               lambda: _renamed(library.ripple_carry_adder(2, use_majority=True),
+                                "2bitaddermaj"))
+exact_function(SUITE, "xor5maj", 5, 1, 54, library.xor5_majority)
+exact_function(SUITE, "majority", 5, 1, 17, _majority_5)
+exact_function(SUITE, "parity", 16, 1, 103, lambda: _renamed(library.parity_generator(16), "parity"))
+
+synthetic(SUITE, "t", 5, 2, 11, seed=1801)
+synthetic(SUITE, "b1_r2", 3, 4, 12, seed=1802)
+synthetic(SUITE, "newtag", 8, 1, 17, seed=1803)
+synthetic(SUITE, "clpl", 11, 5, 20, seed=1804)
+synthetic(SUITE, "cm82a_5", 5, 3, 70, seed=1805)
+
+
+def _renamed(network: LogicNetwork, name: str) -> LogicNetwork:
+    network.name = name
+    return network
+
+
+def _verify_majority_5() -> bool:  # pragma: no cover - sanity helper
+    tt = _majority_5().simulate()[0]
+    expected = sum(
+        1 << row for row in range(32) if bin(row).count("1") >= 3
+    )
+    return tt.bits == expected

@@ -1,0 +1,48 @@
+"""The ISCAS85 benchmark set [13].
+
+*c17* is implemented as its actual six-NAND netlist; the larger
+circuits are deterministic synthetic networks with the real circuits'
+published interfaces and the node counts the paper's Table I reports
+(DESIGN.md §4 — the originals are not redistributable here).
+"""
+
+from __future__ import annotations
+
+from ..networks.logic_network import LogicNetwork
+from .registry import exact_function, synthetic
+
+SUITE = "iscas85"
+
+
+def c17() -> LogicNetwork:
+    """The classic c17: five inputs, two outputs, six NAND gates."""
+    ntk = LogicNetwork("c17")
+    g1 = ntk.create_pi("1gat")
+    g2 = ntk.create_pi("2gat")
+    g3 = ntk.create_pi("3gat")
+    g6 = ntk.create_pi("6gat")
+    g7 = ntk.create_pi("7gat")
+    n10 = ntk.create_nand(g1, g3)
+    n11 = ntk.create_nand(g3, g6)
+    n16 = ntk.create_nand(g2, n11)
+    n19 = ntk.create_nand(n11, g7)
+    n22 = ntk.create_nand(n10, n16)
+    n23 = ntk.create_nand(n16, n19)
+    ntk.create_po(n22, "22gat")
+    ntk.create_po(n23, "23gat")
+    return ntk
+
+
+exact_function(SUITE, "c17", 5, 2, 8, c17)
+
+# Interface counts are the real circuits'; node counts are Table I's.
+synthetic(SUITE, "c432", 36, 7, 414, seed=8501)
+synthetic(SUITE, "c499", 41, 32, 816, seed=8502)
+synthetic(SUITE, "c880", 60, 26, 639, seed=8503)
+synthetic(SUITE, "c1355", 41, 32, 1064, seed=8504)
+synthetic(SUITE, "c1908", 33, 25, 813, seed=8505)
+synthetic(SUITE, "c2670", 233, 140, 1463, seed=8506)
+synthetic(SUITE, "c3540", 50, 22, 1987, seed=8507)
+synthetic(SUITE, "c5315", 178, 123, 3628, seed=8508)
+synthetic(SUITE, "c6288", 32, 32, 6467, seed=8509)
+synthetic(SUITE, "c7552", 207, 108, 4501, seed=8510)

@@ -1,0 +1,21 @@
+"""The Trindade16 benchmark set [11] — implemented as real functions.
+
+Seven small standard functions used throughout the QCA physical design
+literature; the node counts in the registry are the *N* values the
+paper's Table I reports for the unoptimised networks.
+"""
+
+from __future__ import annotations
+
+from ..networks import library
+from .registry import exact_function
+
+SUITE = "trindade16"
+
+exact_function(SUITE, "mux21", 3, 1, 4, library.mux21)
+exact_function(SUITE, "xor2", 2, 1, 4, library.xor2)
+exact_function(SUITE, "xnor2", 2, 1, 6, library.xnor2)
+exact_function(SUITE, "half_adder", 2, 2, 5, library.half_adder)
+exact_function(SUITE, "full_adder", 3, 2, 10, library.full_adder)
+exact_function(SUITE, "par_gen", 3, 1, 10, lambda: library.parity_generator(3))
+exact_function(SUITE, "par_check", 4, 1, 15, lambda: library.parity_checker(4))

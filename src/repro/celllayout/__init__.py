@@ -1,0 +1,40 @@
+"""Cell-level layouts (QCA cells, SiDB dots)."""
+
+from .cell_layout import QCACell, QCACellLayout, QCACellType, SiDBLayout
+from .verification import CellDrcReport, check_qca_cells, check_sidb_dots
+from .simulation import (
+    QCASimulationError,
+    QCASimulationResult,
+    QCASimulator,
+    check_qca_functional,
+    simulate_qca,
+)
+from .sidb_simulation import (
+    ChargeConfiguration,
+    GroundStateResult,
+    SiDBSimulationError,
+    bdl_pair,
+    is_bdl_encoding,
+    simulate_ground_state,
+)
+
+__all__ = [
+    "CellDrcReport",
+    "QCACell",
+    "QCACellLayout",
+    "QCACellType",
+    "SiDBLayout",
+    "check_qca_cells",
+    "check_sidb_dots",
+    "QCASimulationError",
+    "QCASimulationResult",
+    "QCASimulator",
+    "check_qca_functional",
+    "simulate_qca",
+    "ChargeConfiguration",
+    "GroundStateResult",
+    "SiDBSimulationError",
+    "bdl_pair",
+    "is_bdl_encoding",
+    "simulate_ground_state",
+]

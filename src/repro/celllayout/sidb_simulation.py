@@ -1,0 +1,187 @@
+"""Exhaustive ground-state charge simulation for SiDB layouts.
+
+Silicon dangling bonds are atomic quantum dots whose logic states are
+charge configurations; *fiction* ships the exhaustive ground-state
+search (ExGS) and its successors (QuickExact/QuickSim) to validate
+Bestagon tiles physically.  This module reproduces the core of ExGS
+in its standard simplified two-state form:
+
+* each dangling bond is either neutral (``DB⁰``) or negatively charged
+  (``DB⁻``),
+* charges interact through the screened Coulomb potential
+  ``V(r) = k · exp(−r/λ_TF) / r``,
+* a configuration's electrostatic energy is the pairwise sum over
+  charged sites, and
+* a configuration is *physically valid* (population-stable) when every
+  charged site's local potential stays below the charge-transition
+  level ``μ⁻`` and every neutral site's stays above it.
+
+The ground state is the minimum-energy valid configuration; exhaustive
+enumeration bounds the instance size, exactly like the published ExGS.
+Lattice coordinates follow SiQAD's H-Si(100)-2×1 convention.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from .cell_layout import SiDBLayout
+
+# -- physical constants (SiQAD defaults) -------------------------------------
+
+#: Lattice spacings of H-Si(100)-2×1 in nanometres.
+LATTICE_A = 0.384  # between dimer columns (n direction)
+LATTICE_B = 0.768  # between dimer rows (m direction)
+LATTICE_C = 0.225  # between the two atoms of a dimer (l selector)
+
+#: Coulomb prefactor q²/(4·π·ε₀·ε_r) in eV·nm, with ε_r = 5.6 (silicon surface).
+COULOMB_K = 1.439964 / 5.6
+
+#: Thomas–Fermi screening length in nanometres.
+SCREENING_LAMBDA = 5.0
+
+#: Charge transition level μ⁻ in eV (energy gain of charging a DB).
+MU_MINUS = -0.32
+
+#: Exhaustive enumeration bound (2^N configurations).
+MAX_DOTS = 20
+
+
+class SiDBSimulationError(ValueError):
+    """Raised for instances the exhaustive search cannot handle."""
+
+
+def lattice_to_nm(dot: tuple[int, int, int]) -> tuple[float, float]:
+    """Physical (x, y) position in nanometres of a lattice site."""
+    n, m, l = dot
+    return n * LATTICE_A, m * LATTICE_B + l * LATTICE_C
+
+
+def screened_coulomb(distance_nm: float) -> float:
+    """Screened Coulomb potential between two charged DBs, in eV."""
+    if distance_nm <= 0.0:
+        raise ValueError("coincident dangling bonds")
+    return COULOMB_K * math.exp(-distance_nm / SCREENING_LAMBDA) / distance_nm
+
+
+@dataclass(frozen=True)
+class ChargeConfiguration:
+    """One charge assignment over the layout's dots (in sorted dot order)."""
+
+    dots: tuple[tuple[int, int, int], ...]
+    charges: tuple[int, ...]  # 0 = DB⁰, 1 = DB⁻
+    energy_ev: float
+    valid: bool
+
+    def charge_of(self, dot: tuple[int, int, int]) -> int:
+        return self.charges[self.dots.index(dot)]
+
+    @property
+    def num_charged(self) -> int:
+        return sum(self.charges)
+
+
+@dataclass
+class GroundStateResult:
+    """Outcome of the exhaustive ground-state search."""
+
+    ground_state: ChargeConfiguration
+    #: All valid configurations within ``energy_window`` of the ground state.
+    degenerate_states: list[ChargeConfiguration] = field(default_factory=list)
+    configurations_examined: int = 0
+    valid_configurations: int = 0
+
+    @property
+    def degeneracy(self) -> int:
+        return len(self.degenerate_states)
+
+
+def simulate_ground_state(
+    layout: SiDBLayout,
+    mu_minus: float = MU_MINUS,
+    energy_window: float = 1e-6,
+) -> GroundStateResult:
+    """Exhaustively find the charge ground state of ``layout``.
+
+    Raises :class:`SiDBSimulationError` for empty layouts or instances
+    beyond :data:`MAX_DOTS` dots (use the schematic gate-level checks
+    for large layouts; physical simulation targets single tiles).
+    """
+    dots = tuple(sorted(layout.dots))
+    if not dots:
+        raise SiDBSimulationError("layout has no dangling bonds")
+    if len(dots) > MAX_DOTS:
+        raise SiDBSimulationError(
+            f"{len(dots)} dots exceed the exhaustive bound of {MAX_DOTS}"
+        )
+
+    positions = [lattice_to_nm(d) for d in dots]
+    n = len(dots)
+    potential = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = positions[i][0] - positions[j][0]
+            dy = positions[i][1] - positions[j][1]
+            value = screened_coulomb(math.hypot(dx, dy))
+            potential[i][j] = potential[j][i] = value
+
+    best: ChargeConfiguration | None = None
+    degenerate: list[ChargeConfiguration] = []
+    examined = 0
+    valid_count = 0
+
+    for assignment in itertools.product((0, 1), repeat=n):
+        examined += 1
+        local = [
+            sum(potential[i][j] * assignment[j] for j in range(n) if j != i)
+            for i in range(n)
+        ]
+        # Population stability: charged sites must be energetically
+        # favourable (v_i + μ⁻ < 0), neutral sites unfavourable.
+        stable = all(
+            (local[i] + mu_minus < 0) == bool(assignment[i]) for i in range(n)
+        )
+        if not stable:
+            continue
+        valid_count += 1
+        energy = sum(
+            potential[i][j]
+            for i in range(n)
+            for j in range(i + 1, n)
+            if assignment[i] and assignment[j]
+        ) + mu_minus * sum(assignment)
+        config = ChargeConfiguration(dots, tuple(assignment), energy, True)
+        if best is None or energy < best.energy_ev - energy_window:
+            best = config
+            degenerate = [config]
+        elif abs(energy - best.energy_ev) <= energy_window:
+            degenerate.append(config)
+
+    if best is None:
+        # No stable configuration (can happen for pathological μ); fall
+        # back to the all-neutral configuration, marked invalid.
+        best = ChargeConfiguration(dots, tuple([0] * n), 0.0, False)
+        degenerate = [best]
+    return GroundStateResult(best, degenerate, examined, valid_count)
+
+
+def bdl_pair(n: int, m: int, separation: int = 1) -> SiDBLayout:
+    """A binary-dot logic pair: two DBs sharing one charge.
+
+    The BDL pair is Bestagon's information carrier — the ground state
+    localises exactly one charge on one of the two dots, and which dot
+    it sits on encodes the binary value.  With the default physical
+    constants the dots must sit within one dimer column (≈ 0.38 nm) for
+    their repulsion to exceed |μ⁻| and enforce single occupancy.
+    """
+    layout = SiDBLayout(name="bdl_pair")
+    layout.add_dot(n, m, 0)
+    layout.add_dot(n + separation, m, 0)
+    return layout
+
+
+def is_bdl_encoding(result: GroundStateResult) -> bool:
+    """True if the ground state holds exactly one charge (a valid BDL state)."""
+    return result.ground_state.valid and result.ground_state.num_charged == 1

@@ -1,0 +1,162 @@
+"""Cell-level design rule checking.
+
+After a gate library is applied, the resulting cell layout must itself
+be well-formed before it is handed to a physical simulator: QCA cell
+blocks must stay connected so polarisation can propagate, I/O pins must
+exist and carry labels, fixed cells may only appear inside gate blocks,
+and SiDB layouts must respect minimum dot separation (two dangling
+bonds on directly neighbouring lattice sites would form a dimer, not
+two qubits).  These checks reproduce the sanity pass fiction applies
+before exporting to QCADesigner/SiQAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cell_layout import QCACellLayout, QCACellType, SiDBLayout
+
+
+@dataclass
+class CellDrcReport:
+    """Outcome of a cell-level check."""
+
+    violations: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok and not self.warnings:
+            return "cell DRC clean"
+        lines = [f"{len(self.violations)} violation(s), {len(self.warnings)} warning(s)"]
+        lines += [f"  E: {v}" for v in self.violations]
+        lines += [f"  W: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# QCA
+# ---------------------------------------------------------------------------
+
+_ADJACENT = ((1, 0), (-1, 0), (0, 1), (0, -1))
+_DIAGONAL = ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+def check_qca_cells(layout: QCACellLayout) -> CellDrcReport:
+    """Design rules for a QCA ONE cell layout."""
+    report = CellDrcReport()
+    if not layout.cells:
+        report.violations.append("cell layout is empty")
+        return report
+
+    _check_qca_connectivity(layout, report)
+    _check_qca_pins(layout, report)
+    _check_qca_fixed_cells(layout, report)
+    return report
+
+
+def _layer_positions(layout: QCACellLayout, layer: int) -> set[tuple[int, int]]:
+    return {(x, y) for (x, y, l) in layout.cells if l == layer}
+
+
+def _check_qca_connectivity(layout: QCACellLayout, report: CellDrcReport) -> None:
+    """Ground-plane cells must form one coupled component.
+
+    Polarisation propagates through direct and diagonal neighbourhood;
+    via cells (layer 1) couple the ground plane to the crossing plane at
+    the same position.
+    """
+    positions: set[tuple[int, int, int]] = set(layout.cells)
+    if not positions:
+        return
+    start = next(iter(positions))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        x, y, layer = frontier.pop()
+        neighbors = [
+            (x + dx, y + dy, layer) for dx, dy in _ADJACENT + _DIAGONAL
+        ]
+        # Vertical coupling through the via stack (layers 0↔1↔2).
+        neighbors += [(x, y, layer - 1), (x, y, layer + 1)]
+        for candidate in neighbors:
+            if candidate in positions and candidate not in seen:
+                seen.add(candidate)
+                frontier.append(candidate)
+    unreached = len(positions) - len(seen)
+    if unreached:
+        report.violations.append(
+            f"{unreached} cell(s) are electrically disconnected from the rest"
+        )
+
+
+def _check_qca_pins(layout: QCACellLayout, report: CellDrcReport) -> None:
+    inputs = layout.inputs()
+    outputs = layout.outputs()
+    if not inputs:
+        report.warnings.append("no input pins")
+    if not outputs:
+        report.violations.append("no output pins")
+    for position in inputs + outputs:
+        if layout.cells[position].label is None:
+            report.warnings.append(f"pin at {position} has no label")
+
+
+def _check_qca_fixed_cells(layout: QCACellLayout, report: CellDrcReport) -> None:
+    """Fixed cells must touch at least one normal cell (the gate centre)."""
+    positions = _layer_positions(layout, 0)
+    for (x, y, layer), cell in layout.cells.items():
+        if cell.cell_type not in (QCACellType.FIXED_0, QCACellType.FIXED_1):
+            continue
+        if layer != 0:
+            report.violations.append(f"fixed cell off the ground plane at ({x},{y},{layer})")
+            continue
+        touching = any((x + dx, y + dy) in positions for dx, dy in _ADJACENT)
+        if not touching:
+            report.violations.append(f"floating fixed cell at ({x},{y})")
+
+
+# ---------------------------------------------------------------------------
+# SiDB
+# ---------------------------------------------------------------------------
+
+#: Minimum Euclidean distance (in dimer-grid units) between two dots
+#: that are meant to be separate charge centres.
+MIN_DOT_DISTANCE = 2.0
+
+
+def check_sidb_dots(layout: SiDBLayout) -> CellDrcReport:
+    """Design rules for an SiDB (Bestagon) layout."""
+    report = CellDrcReport()
+    if not layout.dots:
+        report.violations.append("SiDB layout is empty")
+        return report
+
+    # Minimum separation: dots on the same lattice site or directly
+    # neighbouring sites of the same dimer row merge physically.
+    seen: dict[tuple[int, int], list[int]] = {}
+    for n, m, l in layout.dots:
+        seen.setdefault((n, m), []).append(l)
+    for (n, m), selectors in seen.items():
+        if len(selectors) != len(set(selectors)):
+            report.violations.append(f"duplicate dot at ({n},{m})")
+    for n, m, l in layout.dots:
+        if (n + 1, m) in seen and l == 1 and 0 in seen[(n + 1, m)]:
+            report.warnings.append(
+                f"dots at ({n},{m},1) and ({n + 1},{m},0) are near the dimer limit"
+            )
+
+    if not layout.input_labels:
+        report.warnings.append("no labelled input dots")
+    if not layout.output_labels:
+        report.warnings.append("no labelled output dots")
+    for key in list(layout.input_labels) + list(layout.output_labels):
+        if key not in layout.dots:
+            report.violations.append(f"label references a missing dot {key}")
+    return report

@@ -1,0 +1,193 @@
+"""``mnt-bench`` command-line interface.
+
+A thin front-end over the benchmark database and portfolio — the local
+equivalent of the hosted website:
+
+* ``mnt-bench list`` — show the registered benchmark functions;
+* ``mnt-bench generate`` — populate a local database directory;
+* ``mnt-bench query`` — filter generated artifacts (Figure 1's form);
+* ``mnt-bench best`` — run the portfolio for one function and print the
+  paper-style table row;
+* ``mnt-bench show`` — render an ``.fgl`` file as ASCII art;
+* ``mnt-bench svg`` — render an ``.fgl`` file as an SVG drawing;
+* ``mnt-bench profile`` — structural analysis of a benchmark network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .benchsuite import all_benchmarks, benchmarks_of, get_benchmark
+from .core import (
+    BenchmarkDatabase,
+    BestParams,
+    GenerationParams,
+    Selection,
+    facet_counts,
+    format_table,
+    table_row,
+)
+from .io import read_fgl
+from .layout import compute_metrics, write_svg
+from .networks import format_profile
+
+
+def _cmd_list(args) -> int:
+    for spec in all_benchmarks():
+        kind = "function " if spec.is_exact_function else "synthetic"
+        print(
+            f"{spec.full_name:24s} I/O={spec.num_inputs}/{spec.num_outputs} "
+            f"N={spec.reported_nodes:6d} [{kind}]"
+        )
+    return 0
+
+
+def _specs_from(args):
+    if args.benchmark:
+        specs = []
+        for token in args.benchmark:
+            suite, _, name = token.partition("/")
+            specs.append(get_benchmark(suite, name))
+        return specs
+    if args.suite:
+        return [s for suite in args.suite for s in benchmarks_of(suite)]
+    return [s for s in all_benchmarks() if s.suite in ("trindade16", "fontes18")]
+
+
+def _cmd_generate(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    specs = _specs_from(args)
+    params = GenerationParams(node_cap=args.node_cap, exact_timeout=args.exact_timeout)
+    libraries = tuple(args.library) if args.library else ("QCA ONE", "Bestagon")
+    created = db.generate(specs, libraries=libraries, params=params)
+    for record in created:
+        area = f"A={record.area}" if record.area is not None else ""
+        print(f"wrote {record.path} {area}")
+    print(f"{len(created)} artifact(s) written to {args.database}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    selection = Selection.make(
+        abstraction_levels=args.level or (),
+        gate_libraries=args.library or (),
+        clocking_schemes=args.scheme or (),
+        algorithms=args.algorithm or (),
+        optimizations=args.optimization or (),
+        suites=args.suite or (),
+        best_only=args.best,
+    )
+    hits = db.query(selection)
+    for record in hits:
+        area = f"A={record.area}" if record.area is not None else ""
+        print(f"{record.path:60s} {area}")
+    print(f"{len(hits)} file(s)")
+    if args.facets:
+        for facet, values in facet_counts(db.files()).items():
+            print(f"{facet}:")
+            for value, count in sorted(values.items()):
+                print(f"  {value:20s} {count}")
+    return 0
+
+
+def _cmd_best(args) -> int:
+    suite, _, name = args.benchmark.partition("/")
+    spec = get_benchmark(suite, name)
+    params = BestParams(exact_timeout=args.exact_timeout)
+    row, result = table_row(spec, args.library, params, node_cap=args.node_cap)
+    print(format_table([row], args.library))
+    if result.winner is None:
+        print("rejections:")
+        for reason in result.rejected:
+            print(f"  {reason}")
+        return 1
+    return 0
+
+
+def _cmd_show(args) -> int:
+    layout = read_fgl(args.file)
+    print(layout)
+    print(compute_metrics(layout))
+    print(layout.render())
+    return 0
+
+
+def _cmd_svg(args) -> int:
+    layout = read_fgl(args.file)
+    output = args.output or str(Path(args.file).with_suffix(".svg"))
+    write_svg(layout, output)
+    print(f"rendered {args.file} -> {output}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    suite, _, name = args.benchmark.partition("/")
+    spec = get_benchmark(suite, name)
+    network = spec.build(args.node_cap)
+    print(format_profile(network))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="mnt-bench", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered benchmark functions")
+
+    gen = sub.add_parser("generate", help="generate benchmark artifacts")
+    gen.add_argument("--database", default="mnt_bench_db")
+    gen.add_argument("--suite", action="append")
+    gen.add_argument("--benchmark", action="append", metavar="SUITE/NAME")
+    gen.add_argument("--library", action="append", choices=["QCA ONE", "Bestagon"])
+    gen.add_argument("--node-cap", type=int, default=300)
+    gen.add_argument("--exact-timeout", type=float, default=6.0)
+
+    query = sub.add_parser("query", help="filter generated artifacts")
+    query.add_argument("--database", default="mnt_bench_db")
+    query.add_argument("--level", action="append", choices=["network", "gate-level"])
+    query.add_argument("--library", action="append")
+    query.add_argument("--scheme", action="append")
+    query.add_argument("--algorithm", action="append")
+    query.add_argument("--optimization", action="append")
+    query.add_argument("--suite", action="append")
+    query.add_argument("--best", action="store_true", help="area-best file per function")
+    query.add_argument("--facets", action="store_true", help="print facet counts")
+
+    best = sub.add_parser("best", help="run the portfolio for one function")
+    best.add_argument("benchmark", metavar="SUITE/NAME")
+    best.add_argument("--library", default="QCA ONE")
+    best.add_argument("--node-cap", type=int, default=None)
+    best.add_argument("--exact-timeout", type=float, default=10.0)
+
+    show = sub.add_parser("show", help="render an .fgl file as ASCII art")
+    show.add_argument("file")
+
+    svg = sub.add_parser("svg", help="render an .fgl file as SVG")
+    svg.add_argument("file")
+    svg.add_argument("--output", default=None)
+
+    prof = sub.add_parser("profile", help="structural analysis of a benchmark")
+    prof.add_argument("benchmark", metavar="SUITE/NAME")
+    prof.add_argument("--node-cap", type=int, default=None)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "generate": _cmd_generate,
+        "query": _cmd_query,
+        "best": _cmd_best,
+        "show": _cmd_show,
+        "svg": _cmd_svg,
+        "profile": _cmd_profile,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""MNT Bench core: benchmark database, selection, best-layout portfolio."""
+
+from .bench import BenchmarkDatabase, BenchmarkFile, GenerationParams
+from .best import BESTAGON, QCA_ONE, BestParams, BestResult, FlowCandidate, best_layout
+from .paper_data import BESTAGON_TABLE, QCA_ONE_TABLE, PaperEntry, paper_entry
+from .selection import (
+    ALGORITHMS,
+    CLOCKING_SCHEMES,
+    GATE_LIBRARIES,
+    OPTIMIZATIONS,
+    AbstractionLevel,
+    Selection,
+    facet_counts,
+)
+from .table import TableRow, baseline_area, format_table, table_row
+
+__all__ = [
+    "ALGORITHMS",
+    "AbstractionLevel",
+    "BESTAGON",
+    "BESTAGON_TABLE",
+    "BenchmarkDatabase",
+    "BenchmarkFile",
+    "BestParams",
+    "BestResult",
+    "CLOCKING_SCHEMES",
+    "FlowCandidate",
+    "GATE_LIBRARIES",
+    "GenerationParams",
+    "OPTIMIZATIONS",
+    "PaperEntry",
+    "QCA_ONE",
+    "QCA_ONE_TABLE",
+    "Selection",
+    "TableRow",
+    "baseline_area",
+    "best_layout",
+    "facet_counts",
+    "format_table",
+    "paper_entry",
+    "table_row",
+]
+
+from .contribute import SubmissionResult, submit_fgl_file, submit_layout
+
+__all__ += ["SubmissionResult", "submit_fgl_file", "submit_layout"]

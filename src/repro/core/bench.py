@@ -1,0 +1,384 @@
+"""The MNT Bench benchmark database (contributions #1 and #2).
+
+The hosted website is, at its core, a store of benchmark artifacts —
+network descriptions in Verilog and gate-level layouts in ``.fgl`` — for
+every combination of benchmark function, gate library, clocking scheme,
+physical design algorithm and optimisation, fronted by the Figure 1
+filter form.  :class:`BenchmarkDatabase` reproduces that store on the
+local filesystem:
+
+* :meth:`BenchmarkDatabase.generate` runs the requested flows and writes
+  the artifacts with the MNT Bench file-naming convention
+  (``<name>_<lib>_<scheme>_<algorithm>[_<opts>].fgl``),
+* a JSON index mirrors the website's metadata (areas, runtimes,
+  provenance) and survives across sessions,
+* :meth:`BenchmarkDatabase.query` applies a :class:`Selection` exactly
+  like the web form does, and
+* every generated layout is design-rule-checked and functionally
+  verified against its specification network before it enters the index.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..benchsuite.registry import BenchmarkSpec
+from ..layout.clocking import CARTESIAN_SCHEMES, ROW
+from ..layout.coordinates import Topology
+from ..layout.equivalence import verify_layout
+from ..layout.gate_layout import GateLayout
+from ..networks.logic_network import LogicNetwork
+from ..networks.verilog import write_verilog
+from ..io.fgl import read_fgl, write_fgl
+from ..optimization.hexagonalization import to_hexagonal
+from ..optimization.input_ordering import InputOrderingParams, input_ordering
+from ..optimization.post_layout import PostLayoutParams, post_layout_optimization
+from ..physical_design.exact import ExactParams, exact_layout
+from ..physical_design.nanoplacer import (
+    NanoPlaceRParams,
+    NanoPlaceRScaleError,
+    nanoplacer_layout,
+)
+from ..physical_design.ortho import OrthoError, OrthoParams, orthogonal_layout
+from .selection import AbstractionLevel, Selection
+
+#: Short library tags used in file names, like the upstream site.
+_LIBRARY_TAGS = {"QCA ONE": "ONE", "Bestagon": "Bestagon"}
+
+
+@dataclass(frozen=True)
+class BenchmarkFile:
+    """One artifact in the database (a row of the website's result list)."""
+
+    suite: str
+    name: str
+    abstraction_level: AbstractionLevel
+    path: str
+    gate_library: str | None = None
+    clocking_scheme: str | None = None
+    algorithm: str | None = None
+    optimizations: tuple[str, ...] = ()
+    width: int | None = None
+    height: int | None = None
+    area: int | None = None
+    num_gates: int | None = None
+    num_wires: int | None = None
+    num_crossings: int | None = None
+    runtime_seconds: float | None = None
+
+    def to_json(self) -> dict:
+        record = {
+            "suite": self.suite,
+            "name": self.name,
+            "abstraction_level": self.abstraction_level.value,
+            "path": self.path,
+            "gate_library": self.gate_library,
+            "clocking_scheme": self.clocking_scheme,
+            "algorithm": self.algorithm,
+            "optimizations": list(self.optimizations),
+            "width": self.width,
+            "height": self.height,
+            "area": self.area,
+            "num_gates": self.num_gates,
+            "num_wires": self.num_wires,
+            "num_crossings": self.num_crossings,
+            "runtime_seconds": self.runtime_seconds,
+        }
+        return record
+
+    @staticmethod
+    def from_json(record: dict) -> "BenchmarkFile":
+        return BenchmarkFile(
+            suite=record["suite"],
+            name=record["name"],
+            abstraction_level=AbstractionLevel(record["abstraction_level"]),
+            path=record["path"],
+            gate_library=record.get("gate_library"),
+            clocking_scheme=record.get("clocking_scheme"),
+            algorithm=record.get("algorithm"),
+            optimizations=tuple(record.get("optimizations", ())),
+            width=record.get("width"),
+            height=record.get("height"),
+            area=record.get("area"),
+            num_gates=record.get("num_gates"),
+            num_wires=record.get("num_wires"),
+            num_crossings=record.get("num_crossings"),
+            runtime_seconds=record.get("runtime_seconds"),
+        )
+
+
+@dataclass
+class GenerationParams:
+    """Effort knobs for database generation."""
+
+    exact_timeout: float = 6.0
+    exact_ratio_timeout: float | None = 0.8
+    exact_max_elements: int = 28
+    nanoplacer_timeout: float = 4.0
+    nanoplacer_max_gates: int = 160
+    inord_evaluations: int = 6
+    inord_timeout: float = 20.0
+    plo_timeout: float = 20.0
+    plo_passes: int = 8
+    #: Node cap for synthetic circuits (None: full published size).
+    node_cap: int | None = 300
+    verify_vectors: int = 64
+
+
+class BenchmarkDatabase:
+    """A local MNT Bench artifact store."""
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._records: list[BenchmarkFile] = []
+        self._load_index()
+
+    # -- persistence ----------------------------------------------------------
+
+    def _index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def _load_index(self) -> None:
+        path = self._index_path()
+        if path.exists():
+            data = json.loads(path.read_text(encoding="utf-8"))
+            self._records = [BenchmarkFile.from_json(r) for r in data.get("files", [])]
+
+    def _save_index(self) -> None:
+        data = {"files": [r.to_json() for r in self._records]}
+        self._index_path().write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+    # -- queries -----------------------------------------------------------------
+
+    def files(self) -> list[BenchmarkFile]:
+        return list(self._records)
+
+    def query(self, selection: Selection) -> list[BenchmarkFile]:
+        """All records passing the filter, area-best first per function."""
+        hits = [r for r in self._records if selection.matches(r)]
+        if selection.best_only:
+            best: dict[tuple, BenchmarkFile] = {}
+            for record in hits:
+                if record.abstraction_level is AbstractionLevel.NETWORK:
+                    continue
+                key = (record.suite, record.name, record.gate_library)
+                current = best.get(key)
+                if current is None or (record.area or 1 << 60) < (current.area or 1 << 60):
+                    best[key] = record
+            hits = list(best.values())
+        return sorted(
+            hits,
+            key=lambda r: (r.suite, r.name, r.abstraction_level.value, r.area or 0),
+        )
+
+    def load_layout(self, record: BenchmarkFile) -> GateLayout:
+        """Re-read a gate-level artifact from disk."""
+        if record.abstraction_level is not AbstractionLevel.GATE_LEVEL:
+            raise ValueError("only gate-level records reference .fgl files")
+        return read_fgl(self.root / record.path)
+
+    # -- generation ----------------------------------------------------------------
+
+    def generate(
+        self,
+        specs: list[BenchmarkSpec],
+        libraries: tuple[str, ...] = ("QCA ONE", "Bestagon"),
+        params: GenerationParams | None = None,
+    ) -> list[BenchmarkFile]:
+        """Generate artifacts for ``specs`` and add them to the index.
+
+        Returns the records created in this call.  Layouts that fail
+        verification are *not* admitted (matching the upstream quality
+        gate); the failure is silently skipped because the portfolio in
+        :mod:`repro.core.best` reports such diagnostics interactively.
+        """
+        params = params or GenerationParams()
+        created: list[BenchmarkFile] = []
+        for spec in specs:
+            network = spec.build(params.node_cap)
+            created.append(self._write_network(spec, network))
+            for layout, algorithm, scheme, opts, runtime in self._flows(
+                network, libraries, params
+            ):
+                record = self._admit_layout(
+                    spec, network, layout, algorithm, scheme, opts, runtime, params
+                )
+                if record is not None:
+                    created.append(record)
+        self._records.extend(created)
+        self._save_index()
+        return created
+
+    def _write_network(self, spec: BenchmarkSpec, network: LogicNetwork) -> BenchmarkFile:
+        directory = self.root / spec.suite
+        directory.mkdir(parents=True, exist_ok=True)
+        filename = f"{spec.name}.v"
+        write_verilog(network, directory / filename)
+        return BenchmarkFile(
+            suite=spec.suite,
+            name=spec.name,
+            abstraction_level=AbstractionLevel.NETWORK,
+            path=f"{spec.suite}/{filename}",
+        )
+
+    def _flows(self, network: LogicNetwork, libraries, params: GenerationParams):
+        """Yield (layout, algorithm, scheme, optimizations, runtime)."""
+        want_qca = any(lib.lower().startswith("qca") or lib.upper() == "ONE" for lib in libraries)
+        want_bestagon = any(lib.lower().startswith("bestagon") for lib in libraries)
+
+        cartesian: list[tuple[GateLayout, str, str, tuple[str, ...], float]] = []
+
+        # ortho plain and optimised.
+        try:
+            plain = orthogonal_layout(network)
+            cartesian.append((plain.layout, "ortho", "2DDWave", (), plain.runtime_seconds))
+            inord = input_ordering(
+                network,
+                InputOrderingParams(
+                    max_evaluations=params.inord_evaluations,
+                    timeout=params.inord_timeout,
+                ),
+            )
+            plo = post_layout_optimization(
+                inord.layout.clone(),
+                PostLayoutParams(max_passes=params.plo_passes, timeout=params.plo_timeout),
+            )
+            cartesian.append(
+                (
+                    plo.layout,
+                    "ortho",
+                    "2DDWave",
+                    ("InOrd (SDN)", "PLO"),
+                    inord.runtime_seconds + plo.runtime_seconds,
+                )
+            )
+        except OrthoError:
+            pass
+
+        # NanoPlaceR on small/medium functions.
+        try:
+            np_result = nanoplacer_layout(
+                network,
+                NanoPlaceRParams(
+                    timeout=params.nanoplacer_timeout,
+                    max_gates=params.nanoplacer_max_gates,
+                ),
+            )
+            if np_result.layout is not None:
+                cartesian.append(
+                    (np_result.layout, "NPR", "2DDWave", (), np_result.runtime_seconds)
+                )
+        except NanoPlaceRScaleError:
+            pass
+
+        # exact across Cartesian schemes on small functions.
+        from ..networks.transforms import decompose_to_aoig, prepare_for_layout
+
+        prepared = prepare_for_layout(decompose_to_aoig(network))
+        small = (
+            len(prepared.topological_order()) + prepared.num_pos()
+            <= params.exact_max_elements
+        )
+        if small:
+            for scheme in CARTESIAN_SCHEMES:
+                result = exact_layout(
+                    network,
+                    ExactParams(
+                        scheme=scheme,
+                        timeout=params.exact_timeout,
+                        ratio_timeout=params.exact_ratio_timeout,
+                    ),
+                )
+                if result.layout is not None:
+                    cartesian.append(
+                        (result.layout, "exact", scheme.name, (), result.runtime_seconds)
+                    )
+
+        if want_qca:
+            yield from cartesian
+
+        if want_bestagon:
+            if small:
+                result = exact_layout(
+                    network,
+                    ExactParams(
+                        scheme=ROW,
+                        topology=Topology.HEXAGONAL_EVEN_ROW,
+                        timeout=params.exact_timeout,
+                        ratio_timeout=params.exact_ratio_timeout,
+                        keep_two_input=True,
+                    ),
+                )
+                if result.layout is not None:
+                    yield (result.layout, "exact", "ROW", (), result.runtime_seconds)
+            for layout, algorithm, scheme, opts, runtime in cartesian:
+                if scheme != "2DDWave":
+                    continue
+                hexed = to_hexagonal(layout)
+                yield (
+                    hexed.layout,
+                    algorithm,
+                    "ROW",
+                    opts + ("45°",),
+                    runtime + hexed.runtime_seconds,
+                )
+
+    def _admit_layout(
+        self,
+        spec: BenchmarkSpec,
+        network: LogicNetwork,
+        layout: GateLayout,
+        algorithm: str,
+        scheme: str,
+        opts: tuple[str, ...],
+        runtime: float,
+        params: GenerationParams,
+    ) -> BenchmarkFile | None:
+        drc, equivalence = verify_layout(layout, network, num_vectors=params.verify_vectors)
+        if not drc.ok or not equivalence.equivalent:
+            return None
+        library = "Bestagon" if layout.topology is Topology.HEXAGONAL_EVEN_ROW else "QCA ONE"
+        directory = self.root / spec.suite
+        directory.mkdir(parents=True, exist_ok=True)
+        filename = self.file_name(spec.name, library, scheme, algorithm, opts)
+        write_fgl(layout, directory / filename)
+        width, height = layout.bounding_box()
+        return BenchmarkFile(
+            suite=spec.suite,
+            name=spec.name,
+            abstraction_level=AbstractionLevel.GATE_LEVEL,
+            path=f"{spec.suite}/{filename}",
+            gate_library=library,
+            clocking_scheme=scheme,
+            algorithm=algorithm,
+            optimizations=opts,
+            width=width,
+            height=height,
+            area=width * height,
+            num_gates=layout.num_gates(),
+            num_wires=layout.num_wires(),
+            num_crossings=layout.num_crossings(),
+            runtime_seconds=runtime,
+        )
+
+    @staticmethod
+    def file_name(name: str, library: str, scheme: str, algorithm: str, opts) -> str:
+        """The MNT Bench artifact naming convention."""
+        tag = _LIBRARY_TAGS.get(library, library.replace(" ", ""))
+        suffix = ""
+        if opts:
+            cleaned = [
+                o.lower()
+                .replace(" (sdn)", "")
+                .replace("°", "deg")
+                .replace(" ", "")
+                for o in opts
+            ]
+            suffix = "_" + "_".join(cleaned)
+        return f"{name}_{tag}_{scheme}_{algorithm}{suffix}.fgl"

@@ -1,0 +1,130 @@
+"""Community contributions: submitting improved layouts.
+
+The paper closes with *"Improved layouts can be sent to
+nanotech.cda@xcit.tum.de for inclusion"* — MNT Bench is a living
+leaderboard.  This module reproduces the inclusion pipeline: a submitted
+``.fgl`` layout is checked against the claimed benchmark function
+(design rules, border I/O, functional equivalence against the reference
+network) and admitted into the database only when it verifies; the
+per-function champion updates automatically because queries with
+``best_only`` always pick the smallest verified area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchsuite.registry import BenchmarkSpec
+from ..layout.coordinates import Topology
+from ..layout.equivalence import verify_layout
+from ..layout.gate_layout import GateLayout
+from ..io.fgl import read_fgl
+from .bench import BenchmarkDatabase, BenchmarkFile
+from .selection import AbstractionLevel, Selection
+
+
+@dataclass(frozen=True)
+class SubmissionResult:
+    """Outcome of a layout submission."""
+
+    accepted: bool
+    reasons: tuple[str, ...]
+    record: BenchmarkFile | None = None
+    #: Area of the previous champion for the same (function, library).
+    previous_best: int | None = None
+
+    @property
+    def is_new_champion(self) -> bool:
+        return (
+            self.accepted
+            and self.record is not None
+            and (self.previous_best is None or (self.record.area or 0) < self.previous_best)
+        )
+
+
+def submit_layout(
+    db: BenchmarkDatabase,
+    spec: BenchmarkSpec,
+    layout: GateLayout,
+    algorithm: str = "contributed",
+    optimizations: tuple[str, ...] = (),
+    node_cap: int | None = None,
+    num_vectors: int = 256,
+) -> SubmissionResult:
+    """Validate a contributed layout and add it to the database.
+
+    The layout must be design-rule clean (including border I/O, which is
+    mandatory for published artifacts) and functionally equivalent to
+    the registered benchmark network.  Rejections report every reason at
+    once so contributors can fix their files in one round trip.
+    """
+    reasons: list[str] = []
+    network = spec.build(node_cap)
+
+    if layout.num_gates() == 0:
+        reasons.append("layout contains no logic gates")
+
+    drc = None
+    if not reasons:
+        from ..layout.verification import check_layout
+
+        drc = check_layout(layout, require_border_io=True)
+        reasons.extend(f"DRC: {v}" for v in drc.violations)
+        reasons.extend(
+            f"DRC: {w}" for w in drc.warnings if "border" in w
+        )
+
+    if not reasons:
+        _, equivalence = verify_layout(layout, network, num_vectors=num_vectors)
+        if not equivalence.equivalent:
+            detail = (
+                f" (counterexample {equivalence.counterexample})"
+                if equivalence.counterexample
+                else ""
+            )
+            reasons.append(f"not equivalent to {spec.full_name}{detail}")
+
+    if reasons:
+        return SubmissionResult(False, tuple(reasons))
+
+    library = (
+        "Bestagon" if layout.topology is Topology.HEXAGONAL_EVEN_ROW else "QCA ONE"
+    )
+    previous = db.query(
+        Selection.make(
+            best_only=True,
+            suites=[spec.suite],
+            names=[spec.name],
+            gate_libraries=[library],
+        )
+    )
+    previous_best = previous[0].area if previous else None
+
+    record = db._admit_layout(  # reuse the generation pipeline's writer
+        spec,
+        network,
+        layout,
+        algorithm,
+        layout.scheme.name,
+        optimizations,
+        0.0,
+        _submission_params(num_vectors),
+    )
+    if record is None:  # pragma: no cover - guarded by the checks above
+        return SubmissionResult(False, ("verification failed during admission",))
+    db._records.append(record)
+    db._save_index()
+    return SubmissionResult(True, (), record, previous_best)
+
+
+def submit_fgl_file(
+    db: BenchmarkDatabase, spec: BenchmarkSpec, path, **kwargs
+) -> SubmissionResult:
+    """Read a contributed ``.fgl`` file and submit it."""
+    return submit_layout(db, spec, read_fgl(path), **kwargs)
+
+
+def _submission_params(num_vectors: int):
+    from .bench import GenerationParams
+
+    return GenerationParams(verify_vectors=num_vectors)

@@ -1,0 +1,152 @@
+"""The MNT Bench selection interface (the paper's Figure 1).
+
+The website lets users filter benchmark files along five facets:
+
+* **abstraction level** — ``Network (.v)`` or ``Gate-level (.fgl)``,
+* **gate library** — QCA ONE or Bestagon,
+* **clocking scheme** — 2DDWave, USE, RES, ESR on Cartesian grids; ROW
+  on hexagonal ones (plus the "most optimal: Best" pseudo-choice),
+* **physical design algorithm** — exact, Ortho (+45°), NanoPlaceR,
+* **optimization algorithm** — Post-Layout Optimization, Input Ordering
+  (shown only when Ortho or NanoPlaceR is selected).
+
+:class:`Selection` is that form as a value object; empty facets mean
+"no filter" exactly like unchecked boxes on the site.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AbstractionLevel(enum.Enum):
+    """Artifact kind offered for download."""
+
+    NETWORK = "network"
+    GATE_LEVEL = "gate-level"
+
+    @property
+    def file_extension(self) -> str:
+        return ".v" if self is AbstractionLevel.NETWORK else ".fgl"
+
+
+#: Facet values as the web interface lists them.
+GATE_LIBRARIES = ("QCA ONE", "Bestagon")
+CLOCKING_SCHEMES = ("2DDWave", "USE", "RES", "ESR", "ROW")
+ALGORITHMS = ("exact", "ortho", "NPR")
+OPTIMIZATIONS = ("PLO", "InOrd (SDN)", "45°")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One filter configuration of the Figure 1 form."""
+
+    abstraction_levels: frozenset = frozenset()
+    gate_libraries: frozenset = frozenset()
+    clocking_schemes: frozenset = frozenset()
+    algorithms: frozenset = frozenset()
+    optimizations: frozenset = frozenset()
+    #: Restrict to specific suites/names (the per-function table rows).
+    suites: frozenset = frozenset()
+    names: frozenset = frozenset()
+    #: "Most optimal: Best" — only the area-best file per function.
+    best_only: bool = False
+
+    @staticmethod
+    def make(
+        abstraction_levels=(),
+        gate_libraries=(),
+        clocking_schemes=(),
+        algorithms=(),
+        optimizations=(),
+        suites=(),
+        names=(),
+        best_only=False,
+    ) -> "Selection":
+        """Convenience constructor accepting any iterables/strings."""
+
+        def to_set(value) -> frozenset:
+            if isinstance(value, str):
+                value = (value,)
+            return frozenset(str(v).lower() for v in value)
+
+        levels = frozenset(
+            v if isinstance(v, AbstractionLevel) else AbstractionLevel(str(v).lower())
+            for v in (
+                (abstraction_levels,)
+                if isinstance(abstraction_levels, (str, AbstractionLevel))
+                else abstraction_levels
+            )
+        )
+        return Selection(
+            levels,
+            to_set(gate_libraries),
+            to_set(clocking_schemes),
+            to_set(algorithms),
+            to_set(optimizations),
+            to_set(suites),
+            to_set(names),
+            best_only,
+        )
+
+    def matches(self, record) -> bool:
+        """Does one :class:`~repro.core.bench.BenchmarkFile` pass the filter?"""
+        if self.abstraction_levels and record.abstraction_level not in self.abstraction_levels:
+            return False
+        if self.suites and record.suite.lower() not in self.suites:
+            return False
+        if self.names and record.name.lower() not in self.names:
+            return False
+        if record.abstraction_level is AbstractionLevel.NETWORK:
+            # Library/scheme/algorithm facets describe layouts; a network
+            # file passes them only when networks were explicitly asked
+            # for alongside those facets.
+            layout_filters = bool(
+                self.gate_libraries
+                or self.clocking_schemes
+                or self.algorithms
+                or self.optimizations
+            )
+            if layout_filters and AbstractionLevel.NETWORK not in self.abstraction_levels:
+                return False
+            return True
+        if self.gate_libraries and (record.gate_library or "").lower() not in self.gate_libraries:
+            return False
+        if self.clocking_schemes and (record.clocking_scheme or "").lower() not in self.clocking_schemes:
+            return False
+        if self.algorithms and (record.algorithm or "").lower() not in self.algorithms:
+            return False
+        if self.optimizations:
+            applied = {o.lower() for o in record.optimizations}
+            if not self.optimizations <= applied:
+                return False
+        return True
+
+
+def facet_counts(records) -> dict[str, dict[str, int]]:
+    """Count available files per facet value — the website's sidebar."""
+    counts: dict[str, dict[str, int]] = {
+        "abstraction_level": {},
+        "gate_library": {},
+        "clocking_scheme": {},
+        "algorithm": {},
+        "optimization": {},
+        "suite": {},
+    }
+
+    def bump(facet: str, value) -> None:
+        if value is None:
+            return
+        key = value.value if isinstance(value, AbstractionLevel) else str(value)
+        counts[facet][key] = counts[facet].get(key, 0) + 1
+
+    for record in records:
+        bump("abstraction_level", record.abstraction_level)
+        bump("suite", record.suite)
+        bump("gate_library", record.gate_library)
+        bump("clocking_scheme", record.clocking_scheme)
+        bump("algorithm", record.algorithm)
+        for optimization in record.optimizations:
+            bump("optimization", optimization)
+    return counts

@@ -1,0 +1,16 @@
+"""FCN gate libraries: QCA ONE (Cartesian) and Bestagon (hexagonal)."""
+
+from .apply import BESTAGON, LIBRARIES, QCA_ONE, apply_gate_library
+from .bestagon import BestagonError, apply_bestagon
+from .qca_one import QCAOneError, apply_qca_one
+
+__all__ = [
+    "BESTAGON",
+    "BestagonError",
+    "LIBRARIES",
+    "QCAOneError",
+    "QCA_ONE",
+    "apply_bestagon",
+    "apply_gate_library",
+    "apply_qca_one",
+]

@@ -1,0 +1,205 @@
+"""The QCA ONE gate library (Reis et al., ISCAS'16 [15]).
+
+QCA ONE is a standard-cell library for Quantum-dot Cellular Automata:
+every gate-level tile becomes a 5×5 block of QCA cells.  Logic is built
+around the majority gate (a cross of cells); AND and OR are majority
+gates with one arm replaced by a fixed-polarisation cell, inverters use
+the diagonal-displacement construction, and wire crossings are coplanar
+(the vertical wire uses 45°-rotated cells).
+
+Rather than storing one bitmap per (gate, orientation) pair, the blocks
+are composed programmatically from *arms* (cell runs from a tile side to
+the centre), which yields every orientation the clocking scheme can
+produce and is how this module covers Cartesian layouts on 2DDWave as
+well as USE/RES/ESR.
+"""
+
+from __future__ import annotations
+
+from ..celllayout.cell_layout import QCACell, QCACellLayout, QCACellType
+from ..layout.coordinates import Tile, Topology
+from ..layout.gate_layout import GateLayout
+from ..networks.logic_network import GateType
+
+#: Side names, as (dx, dy) tile offsets.
+_SIDES = {
+    (0, -1): "N",
+    (1, 0): "E",
+    (0, 1): "S",
+    (-1, 0): "W",
+}
+
+#: Cell offsets (within the 5×5 block) of the arm touching each side,
+#: excluding the centre cell at (2, 2).
+_ARM = {
+    "N": ((2, 0), (2, 1)),
+    "S": ((2, 4), (2, 3)),
+    "W": ((0, 2), (1, 2)),
+    "E": ((4, 2), (3, 2)),
+}
+
+_CENTER = (2, 2)
+
+#: Unit vector pointing from the centre toward each side.
+_DIRECTION = {"N": (0, -1), "S": (0, 1), "W": (-1, 0), "E": (1, 0)}
+_OPPOSITE = {"N": "S", "S": "N", "W": "E", "E": "W"}
+
+TILE_SIZE = 5
+
+#: Gate types QCA ONE provides standard cells for.
+SUPPORTED_GATES = frozenset(
+    {
+        GateType.PI,
+        GateType.PO,
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.OR,
+        GateType.MAJ,
+        GateType.FANOUT,
+    }
+)
+
+
+class QCAOneError(ValueError):
+    """Raised for layouts the library has no standard cells for."""
+
+
+def side_of(tile: Tile, neighbor: Tile) -> str:
+    """Which side of ``tile`` faces ``neighbor`` (ground projections)."""
+    offset = (neighbor.x - tile.x, neighbor.y - tile.y)
+    if offset not in _SIDES:
+        raise QCAOneError(f"tiles {tile} and {neighbor} are not adjacent")
+    return _SIDES[offset]
+
+
+def apply_qca_one(layout: GateLayout) -> QCACellLayout:
+    """Compile a Cartesian gate-level layout into QCA ONE cells."""
+    if layout.topology is not Topology.CARTESIAN:
+        raise QCAOneError("QCA ONE targets Cartesian layouts")
+    cell_layout = QCACellLayout(name=layout.name, tile_size=TILE_SIZE)
+    for tile, gate in layout.tiles():
+        if gate.gate_type not in SUPPORTED_GATES:
+            raise QCAOneError(
+                f"QCA ONE has no cell implementation for {gate.gate_type.value}; "
+                "decompose the network to AOIG first"
+            )
+        if tile.z == 1:
+            # The crossing layer is realised coplanarly inside the ground
+            # tile's block (rotated cells); handled when visiting z = 0.
+            continue
+        block = _block_for(layout, tile, gate)
+        above = layout.get(tile.above)
+        if above is not None:
+            _merge_crossing(block, layout, tile, above)
+        _blit(cell_layout, tile, block, layout.zone(tile))
+    return cell_layout
+
+
+def _in_sides(layout: GateLayout, tile: Tile, gate) -> list[str]:
+    return [side_of(tile, f.ground) for f in gate.fanins]
+
+
+def _out_sides(layout: GateLayout, tile: Tile) -> list[str]:
+    sides = []
+    for reader in layout.readers(tile):
+        if reader.ground == tile.ground:
+            continue  # vertical hop, handled by the crossing merge
+        sides.append(side_of(tile, reader.ground))
+    return sides
+
+
+def _block_for(layout: GateLayout, tile: Tile, gate) -> dict:
+    t = gate.gate_type
+    in_sides = _in_sides(layout, tile, gate)
+    out_sides = _out_sides(layout, tile)
+    block: dict[tuple[int, int], QCACell] = {}
+
+    def arm(side: str, cell_type=QCACellType.NORMAL) -> None:
+        for offset in _ARM[side]:
+            block[offset] = QCACell(cell_type)
+
+    def centre(cell_type=QCACellType.NORMAL, label=None) -> None:
+        block[_CENTER] = QCACell(cell_type, label)
+
+    if t is GateType.PI:
+        centre(QCACellType.INPUT, gate.name)
+        for side in out_sides:
+            arm(side)
+    elif t is GateType.PO:
+        centre(QCACellType.OUTPUT, gate.name)
+        for side in in_sides:
+            arm(side)
+    elif t in (GateType.BUF, GateType.FANOUT):
+        centre()
+        for side in in_sides + out_sides:
+            arm(side)
+    elif t is GateType.NOT:
+        # Diagonal-displacement inverter: the signal crosses a diagonal
+        # gap whose geometric kink factor anti-aligns the next cell.
+        # For corner inverters (in ⊥ out) the two arm inner cells are
+        # already diagonal to each other across the *omitted* centre;
+        # straight-through inverters add a displaced two-cell bridge.
+        in_side = in_sides[0]
+        out_side = out_sides[0] if out_sides else _OPPOSITE[in_side]
+        arm(in_side)
+        arm(out_side)
+        d_in = _DIRECTION[in_side]
+        d_out = _DIRECTION[out_side]
+        if d_out == (-d_in[0], -d_in[1]):
+            inner = (_CENTER[0] + d_in[0], _CENTER[1] + d_in[1])
+            perp = (d_out[1], -d_out[0])
+            hop = (inner[0] + d_out[0] + perp[0], inner[1] + d_out[1] + perp[1])
+            hop2 = (hop[0] + d_out[0], hop[1] + d_out[1])
+            block[hop] = QCACell(QCACellType.NORMAL)
+            block[hop2] = QCACell(QCACellType.NORMAL)
+    elif t in (GateType.AND, GateType.OR, GateType.MAJ):
+        centre()
+        for side in in_sides + out_sides:
+            arm(side)
+        if t is not GateType.MAJ:
+            free = [s for s in ("N", "E", "S", "W") if s not in in_sides + out_sides]
+            if not free:
+                raise QCAOneError(f"no free side for the fixed cell at {tile}")
+            fixed = QCACellType.FIXED_0 if t is GateType.AND else QCACellType.FIXED_1
+            # The fixed cell sits on the free arm, adjacent to the centre.
+            block[_ARM[free[0]][1]] = QCACell(fixed)
+    else:  # pragma: no cover - guarded by SUPPORTED_GATES
+        raise QCAOneError(f"unhandled gate type {t}")
+    return block
+
+
+def _merge_crossing(block: dict, layout: GateLayout, tile: Tile, above) -> None:
+    """Overlay the crossing wire onto the block's crossing plane.
+
+    The crossing wire runs on cell layer 2 with via cells (layer 1) at
+    its entry and exit arms — the multilayer realisation fiction's QCA
+    ONE application emits for ``z = 1`` gate-level wires.
+    """
+    in_side = side_of(tile, above.fanins[0].ground)
+    out_sides = [
+        side_of(tile, reader.ground)
+        for reader in layout.readers(tile.above)
+        if reader.ground != tile.ground
+    ]
+    for side in [in_side] + out_sides:
+        outer, inner = _ARM[side]
+        # Ground landing cell so the via stack couples to the incoming
+        # wire of the neighbouring tile (shared-side cases reuse the
+        # ground element's own arm cell).
+        block.setdefault(outer, QCACell(QCACellType.NORMAL))
+        block[(outer[0], outer[1], 1)] = QCACell(QCACellType.NORMAL)  # via
+        block[(outer[0], outer[1], 2)] = QCACell(QCACellType.NORMAL)
+        block[(inner[0], inner[1], 2)] = QCACell(QCACellType.NORMAL)
+    block[(_CENTER[0], _CENTER[1], 2)] = QCACell(QCACellType.NORMAL)
+
+
+def _blit(cell_layout: QCACellLayout, tile: Tile, block: dict, zone: int) -> None:
+    base_x, base_y = tile.x * TILE_SIZE, tile.y * TILE_SIZE
+    for key, cell in block.items():
+        if len(key) == 2:
+            dx, dy = key
+            layer = 0
+        else:
+            dx, dy, layer = key
+        cell_layout.set_cell(base_x + dx, base_y + dy, cell, layer, zone)

@@ -1,0 +1,148 @@
+"""QCADesigner-style ``.qca`` writer for QCA ONE cell layouts.
+
+MNT Bench's pipeline ends at gate level, but fiction exports QCA ONE
+cell layouts to QCADesigner for physical simulation; this writer emits
+the same nested ``[TYPE:...]`` block structure QCADesigner files use
+(version 2.0 dialect, one ``QCADCell`` entry per cell, layers separated
+into ``QCADLayer`` blocks).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..celllayout.cell_layout import QCACell, QCACellLayout, QCACellType
+
+#: Physical cell pitch in nanometres (QCADesigner default).
+CELL_PITCH_NM = 20.0
+
+_FUNCTION = {
+    QCACellType.NORMAL: "QCAD_CELL_NORMAL",
+    QCACellType.INPUT: "QCAD_CELL_INPUT",
+    QCACellType.OUTPUT: "QCAD_CELL_OUTPUT",
+    QCACellType.FIXED_0: "QCAD_CELL_FIXED",
+    QCACellType.FIXED_1: "QCAD_CELL_FIXED",
+    QCACellType.ROTATED: "QCAD_CELL_NORMAL",
+}
+
+
+def cell_layout_to_qca(layout: QCACellLayout) -> str:
+    """Serialise a QCA cell layout in QCADesigner file syntax."""
+    lines: list[str] = []
+    lines.append("[VERSION]")
+    lines.append("qcadesigner_version=2.000000")
+    lines.append("[#VERSION]")
+    lines.append("[TYPE:DESIGN]")
+
+    layers = sorted({layer for (_, _, layer) in layout.cells})
+    for layer in layers:
+        lines.append("[TYPE:QCADLayer]")
+        lines.append("type=1")
+        lines.append(f"status=0")
+        lines.append(f"pszDescription=layer {layer}")
+        for (x, y, cell_layer), cell in sorted(layout.cells.items()):
+            if cell_layer != layer:
+                continue
+            cx = x * CELL_PITCH_NM
+            cy = y * CELL_PITCH_NM
+            lines.append("[TYPE:QCADCell]")
+            lines.append(f"cell_options.cxCell={CELL_PITCH_NM:.6f}")
+            lines.append(f"cell_options.cyCell={CELL_PITCH_NM:.6f}")
+            lines.append(f"cell_options.dot_diameter={CELL_PITCH_NM / 4:.6f}")
+            mode = (
+                "QCAD_CELL_MODE_CROSSOVER"
+                if cell.cell_type is QCACellType.ROTATED or layer > 0
+                else "QCAD_CELL_MODE_NORMAL"
+            )
+            lines.append(f"cell_options.mode={mode}")
+            lines.append(f"cell_function={_FUNCTION[cell.cell_type]}")
+            if cell.cell_type is QCACellType.FIXED_0:
+                lines.append("cell_options.polarization=-1.000000")
+            elif cell.cell_type is QCACellType.FIXED_1:
+                lines.append("cell_options.polarization=1.000000")
+            lines.append(f"x={cx:.6f}")
+            lines.append(f"y={cy:.6f}")
+            if cell.label:
+                lines.append("[TYPE:QCADLabel]")
+                lines.append(f"psz={cell.label}")
+                lines.append("[#TYPE:QCADLabel]")
+            lines.append("[#TYPE:QCADCell]")
+        lines.append("[#TYPE:QCADLayer]")
+
+    lines.append("[#TYPE:DESIGN]")
+    return "\n".join(lines) + "\n"
+
+
+def write_qca(layout: QCACellLayout, path) -> None:
+    """Write a QCA cell layout to a ``.qca`` file."""
+    Path(path).write_text(cell_layout_to_qca(layout), encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+def qca_to_cell_layout(text: str) -> QCACellLayout:
+    """Parse QCADesigner file syntax back into a cell layout.
+
+    Understands the subset this module writes (one ``QCADCell`` block per
+    cell with ``cell_function``, ``mode``, position and optional label),
+    which also covers typical QCADesigner 2.0 exports of fiction.
+    """
+    layout = QCACellLayout()
+    layer = -1
+    current: dict | None = None
+    label_next = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line == "[TYPE:QCADLayer]":
+            layer += 1
+        elif line == "[TYPE:QCADCell]":
+            current = {"layer": max(layer, 0), "function": "QCAD_CELL_NORMAL"}
+        elif line == "[#TYPE:QCADCell]":
+            if current is not None and "x" in current and "y" in current:
+                x = round(current["x"] / CELL_PITCH_NM)
+                y = round(current["y"] / CELL_PITCH_NM)
+                cell_type = _function_to_type(current)
+                layout.set_cell(x, y, QCACell(cell_type, current.get("label")), current["layer"])
+            current = None
+        elif current is not None:
+            if line.startswith("cell_function="):
+                current["function"] = line.split("=", 1)[1]
+            elif line.startswith("cell_options.mode="):
+                current["mode"] = line.split("=", 1)[1]
+            elif line.startswith("cell_options.polarization="):
+                current["polarization"] = float(line.split("=", 1)[1])
+            elif line.startswith("x="):
+                current["x"] = float(line.split("=", 1)[1])
+            elif line.startswith("y="):
+                current["y"] = float(line.split("=", 1)[1])
+            elif line == "[TYPE:QCADLabel]":
+                label_next = True
+            elif label_next and line.startswith("psz="):
+                current["label"] = line.split("=", 1)[1]
+                label_next = False
+    return layout
+
+
+def _function_to_type(record: dict) -> QCACellType:
+    function = record.get("function", "QCAD_CELL_NORMAL")
+    if function == "QCAD_CELL_INPUT":
+        return QCACellType.INPUT
+    if function == "QCAD_CELL_OUTPUT":
+        return QCACellType.OUTPUT
+    if function == "QCAD_CELL_FIXED":
+        return (
+            QCACellType.FIXED_1
+            if record.get("polarization", -1.0) > 0
+            else QCACellType.FIXED_0
+        )
+    if record.get("mode") == "QCAD_CELL_MODE_CROSSOVER" and record.get("layer", 0) == 0:
+        return QCACellType.ROTATED
+    return QCACellType.NORMAL
+
+
+def read_qca(path) -> QCACellLayout:
+    """Read a ``.qca`` file into a cell layout."""
+    return qca_to_cell_layout(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,68 @@
+"""SiQAD ``.sqd`` writer for SiDB (Bestagon) cell layouts.
+
+SiQAD stores silicon-dangling-bond designs as XML with one ``<dbdot>``
+per dangling bond, addressed by H-Si(100)-2×1 lattice coordinates
+``(n, m, l)``.  fiction exports Bestagon layouts in this format for
+physical simulation; this writer emits the same structure for the
+schematic SiDB layouts produced by :mod:`repro.gatelibs.bestagon`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from xml.dom import minidom
+
+from ..celllayout.cell_layout import SiDBLayout
+
+
+def sidb_layout_to_sqd(layout: SiDBLayout) -> str:
+    """Serialise an SiDB layout in SiQAD XML syntax."""
+    root = ET.Element("siqad")
+    program = ET.SubElement(root, "program")
+    ET.SubElement(program, "file_purpose").text = "save"
+    ET.SubElement(program, "name").text = layout.name or "sidb_layout"
+
+    design = ET.SubElement(root, "design")
+    layer = ET.SubElement(design, "layer", type="DB")
+    for n, m, l in sorted(layout.dots):
+        dbdot = ET.SubElement(layer, "dbdot")
+        ET.SubElement(dbdot, "layer_id").text = "2"
+        ET.SubElement(dbdot, "latcoord", n=str(n), m=str(m), l=str(l))
+        label = layout.input_labels.get((n, m, l)) or layout.output_labels.get((n, m, l))
+        if label:
+            ET.SubElement(dbdot, "label").text = label
+
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="    ")
+
+
+def write_sqd(layout: SiDBLayout, path) -> None:
+    """Write an SiDB layout to an ``.sqd`` file."""
+    Path(path).write_text(sidb_layout_to_sqd(layout), encoding="utf-8")
+
+
+def sqd_to_sidb_layout(text: str) -> SiDBLayout:
+    """Parse SiQAD XML back into an SiDB layout."""
+    root = ET.fromstring(text)
+    layout = SiDBLayout()
+    name = root.findtext("program/name")
+    if name:
+        layout.name = name
+    for dbdot in root.iter("dbdot"):
+        latcoord = dbdot.find("latcoord")
+        if latcoord is None:
+            continue
+        n = int(latcoord.get("n", "0"))
+        m = int(latcoord.get("m", "0"))
+        l = int(latcoord.get("l", "0"))
+        layout.add_dot(n, m, l)
+        label = dbdot.findtext("label")
+        if label:
+            layout.input_labels[(n, m, l)] = label
+    return layout
+
+
+def read_sqd(path) -> SiDBLayout:
+    """Read an ``.sqd`` file into an SiDB layout."""
+    return sqd_to_sidb_layout(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,68 @@
+"""Gate-level layout substrate: grids, clocking, metrics, verification."""
+
+from .coordinates import (
+    Tile,
+    Topology,
+    adjacent,
+    cartesian_neighbors,
+    grid_distance,
+    hex_distance,
+    hex_neighbors,
+    manhattan,
+    neighbors,
+)
+from .clocking import (
+    CARTESIAN_SCHEMES,
+    CFE,
+    ESR,
+    HEXAGONAL_SCHEMES,
+    OPEN,
+    RES,
+    ROW,
+    SCHEMES,
+    TWODDWAVE,
+    USE,
+    ClockingScheme,
+    get_scheme,
+)
+from .gate_layout import GateLayout, LayoutGate
+from .metrics import LayoutMetrics, compute_metrics, critical_path_length, throughput
+from .verification import DrcReport, check_layout
+from .equivalence import layout_equivalent, verify_layout
+from .svg import layout_to_svg, write_svg
+
+__all__ = [
+    "CARTESIAN_SCHEMES",
+    "CFE",
+    "ClockingScheme",
+    "DrcReport",
+    "ESR",
+    "GateLayout",
+    "HEXAGONAL_SCHEMES",
+    "LayoutGate",
+    "LayoutMetrics",
+    "OPEN",
+    "RES",
+    "ROW",
+    "SCHEMES",
+    "TWODDWAVE",
+    "Tile",
+    "Topology",
+    "USE",
+    "adjacent",
+    "cartesian_neighbors",
+    "check_layout",
+    "compute_metrics",
+    "critical_path_length",
+    "get_scheme",
+    "grid_distance",
+    "hex_distance",
+    "hex_neighbors",
+    "layout_equivalent",
+    "layout_to_svg",
+    "manhattan",
+    "neighbors",
+    "throughput",
+    "verify_layout",
+    "write_svg",
+]

@@ -1,0 +1,142 @@
+"""FCN clocking schemes.
+
+A clocking scheme partitions the tile grid into clock zones 0..3 such
+that information flows from a tile in zone *k* only into adjacent tiles
+in zone *(k+1) mod 4*.  The schemes offered by MNT Bench's web interface
+are implemented here with the zone assignments used by *fiction*:
+
+* **2DDWave** [cascade clocking]: ``zone(x, y) = (x + y) mod 4`` — all
+  data flows east/south, which is what ortho [6] and the 45°
+  hexagonalisation [7] rely on.
+* **USE**, **RES**, **ESR**: 4×4 periodic Cartesian schemes that allow
+  feedback loops.
+* **ROW**: row-based clocking, ``zone(x, y) = y mod 4`` — the scheme the
+  Bestagon gate library targets on hexagonal grids.
+* **OPEN**: no predefined zones; tiles are clocked individually (used by
+  exact physical design when exploring irregular clockings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .coordinates import Tile
+
+
+@dataclass(frozen=True)
+class ClockingScheme:
+    """A (possibly regular) clock zone assignment.
+
+    Regular schemes derive the zone of any tile from a periodic matrix;
+    the OPEN scheme stores explicit per-tile zones inside the layout
+    instead and reports ``regular = False``.
+    """
+
+    name: str
+    num_phases: int = 4
+    #: Row-major `period_y` × `period_x` zone matrix for regular schemes.
+    matrix: tuple[tuple[int, ...], ...] | None = None
+    #: For diagonal schemes (2DDWave) the matrix is replaced by a formula.
+    diagonal: bool = False
+    regular: bool = True
+
+    def zone(self, tile: Tile) -> int:
+        """Clock zone of ``tile`` (regular schemes only)."""
+        if not self.regular:
+            raise ValueError(f"{self.name} is irregular; zones live in the layout")
+        if self.diagonal:
+            return (tile.x + tile.y) % self.num_phases
+        assert self.matrix is not None
+        row = self.matrix[tile.y % len(self.matrix)]
+        return row[tile.x % len(row)]
+
+    def is_incoming_clocked(self, target: Tile, source: Tile) -> bool:
+        """True if data may flow from ``source`` into ``target``."""
+        if not self.regular:
+            return True
+        return (self.zone(source) + 1) % self.num_phases == self.zone(target)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 2DDWave: diagonal waves; unidirectional east/south information flow.
+TWODDWAVE = ClockingScheme("2DDWave", diagonal=True)
+
+#: USE — Universal, Scalable and Efficient clocking (Campos et al.).
+USE = ClockingScheme(
+    "USE",
+    matrix=(
+        (0, 1, 2, 3),
+        (3, 2, 1, 0),
+        (2, 3, 0, 1),
+        (1, 0, 3, 2),
+    ),
+)
+
+#: RES — allows denser feedback than USE (Goes et al.).
+RES = ClockingScheme(
+    "RES",
+    matrix=(
+        (3, 0, 1, 2),
+        (0, 1, 0, 3),
+        (1, 2, 3, 0),
+        (0, 3, 2, 1),
+    ),
+)
+
+#: ESR — extended square RES-like scheme (Pal et al.).
+ESR = ClockingScheme(
+    "ESR",
+    matrix=(
+        (3, 0, 1, 2),
+        (0, 1, 2, 3),
+        (1, 2, 3, 0),
+        (0, 3, 2, 1),
+    ),
+)
+
+#: ROW — horizontal stripes; the hexagonal Bestagon scheme.
+ROW = ClockingScheme(
+    "ROW",
+    matrix=(
+        (0, 0, 0, 0),
+        (1, 1, 1, 1),
+        (2, 2, 2, 2),
+        (3, 3, 3, 3),
+    ),
+)
+
+#: CFE — columnar flow extension scheme.
+CFE = ClockingScheme(
+    "CFE",
+    matrix=(
+        (0, 1, 0, 1),
+        (3, 2, 3, 2),
+        (0, 1, 0, 1),
+        (3, 2, 3, 2),
+    ),
+)
+
+#: OPEN — per-tile zones, stored in the layout.
+OPEN = ClockingScheme("OPEN", regular=False)
+
+#: All named schemes, keyed case-insensitively by name.
+SCHEMES: dict[str, ClockingScheme] = {
+    s.name.lower(): s for s in (TWODDWAVE, USE, RES, ESR, ROW, CFE, OPEN)
+}
+
+#: Cartesian schemes offered in the MNT Bench selection UI (Figure 1).
+CARTESIAN_SCHEMES: tuple[ClockingScheme, ...] = (TWODDWAVE, USE, RES, ESR)
+
+#: Hexagonal schemes offered in the MNT Bench selection UI (Figure 1).
+HEXAGONAL_SCHEMES: tuple[ClockingScheme, ...] = (ROW,)
+
+
+def get_scheme(name: str) -> ClockingScheme:
+    """Look up a clocking scheme by (case-insensitive) name."""
+    try:
+        return SCHEMES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(SCHEMES))
+        raise ValueError(f"unknown clocking scheme {name!r}; known: {known}") from None

@@ -1,0 +1,128 @@
+"""Tile coordinates and grid adjacency for Cartesian and hexagonal layouts.
+
+Gate-level FCN layouts live on a bounded grid of *tiles*.  Cartesian
+grids (QCA ONE [15]) use the von Neumann neighbourhood; hexagonal grids
+(Bestagon [16]) use *even-row offset* coordinates in a pointy-top
+orientation, matching fiction's ``even_row_hex`` layout type that the
+``.fgl`` format serialises.
+
+A third coordinate ``z`` selects the wiring layer: ``z = 0`` is the
+ground layer, ``z = 1`` the crossing layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class Topology(enum.Enum):
+    """Grid topology of a layout."""
+
+    CARTESIAN = "cartesian"
+    HEXAGONAL_EVEN_ROW = "hexagonal_even_row"
+
+    @property
+    def short_name(self) -> str:
+        return "cartesian" if self is Topology.CARTESIAN else "hexagonal"
+
+
+class Tile(NamedTuple):
+    """A tile position; ``z=0`` ground layer, ``z=1`` crossing layer."""
+
+    x: int
+    y: int
+    z: int = 0
+
+    @property
+    def ground(self) -> "Tile":
+        """The same position on the ground layer."""
+        return Tile(self.x, self.y, 0)
+
+    @property
+    def above(self) -> "Tile":
+        """The same position on the crossing layer."""
+        return Tile(self.x, self.y, 1)
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y},{self.z})"
+
+
+def cartesian_adjacent(a: Tile, b: Tile) -> bool:
+    """True if ``b`` is a N/E/S/W neighbour of ``a`` (any layer)."""
+    return abs(a.x - b.x) + abs(a.y - b.y) == 1
+
+
+def cartesian_neighbors(tile: Tile, width: int, height: int) -> list[Tile]:
+    """In-bounds ground-layer neighbours of a Cartesian tile."""
+    candidates = (
+        Tile(tile.x + 1, tile.y),
+        Tile(tile.x - 1, tile.y),
+        Tile(tile.x, tile.y + 1),
+        Tile(tile.x, tile.y - 1),
+    )
+    return [t for t in candidates if 0 <= t.x < width and 0 <= t.y < height]
+
+
+def hex_neighbors_offsets(y: int) -> list[tuple[int, int]]:
+    """(dx, dy) neighbour offsets for even-row offset hex coordinates.
+
+    Rows are staggered: even rows are shifted half a tile to the east, so
+    the diagonal neighbours' column offsets depend on row parity.
+    """
+    if y % 2 == 0:
+        return [(1, 0), (-1, 0), (0, -1), (1, -1), (0, 1), (1, 1)]
+    return [(1, 0), (-1, 0), (-1, -1), (0, -1), (-1, 1), (0, 1)]
+
+
+def hex_adjacent(a: Tile, b: Tile) -> bool:
+    """True if ``b`` is one of ``a``'s six hexagonal neighbours."""
+    return (b.x - a.x, b.y - a.y) in hex_neighbors_offsets(a.y)
+
+
+def hex_neighbors(tile: Tile, width: int, height: int) -> list[Tile]:
+    """In-bounds ground-layer neighbours of a hexagonal tile."""
+    out = []
+    for dx, dy in hex_neighbors_offsets(tile.y):
+        t = Tile(tile.x + dx, tile.y + dy)
+        if 0 <= t.x < width and 0 <= t.y < height:
+            out.append(t)
+    return out
+
+
+def adjacent(topology: Topology, a: Tile, b: Tile) -> bool:
+    """Grid adjacency in the given topology, ignoring layers."""
+    if topology is Topology.CARTESIAN:
+        return cartesian_adjacent(a, b)
+    return hex_adjacent(a, b)
+
+
+def neighbors(topology: Topology, tile: Tile, width: int, height: int) -> list[Tile]:
+    """In-bounds neighbours in the given topology (ground layer)."""
+    if topology is Topology.CARTESIAN:
+        return cartesian_neighbors(tile, width, height)
+    return hex_neighbors(tile, width, height)
+
+
+def manhattan(a: Tile, b: Tile) -> int:
+    """Manhattan distance between two tiles (layers ignored)."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def hex_distance(a: Tile, b: Tile) -> int:
+    """Hex grid distance between two even-row offset tiles."""
+    aq, ar = _offset_to_axial(a.x, a.y)
+    bq, br = _offset_to_axial(b.x, b.y)
+    return (abs(aq - bq) + abs(ar - br) + abs(aq + ar - bq - br)) // 2
+
+
+def _offset_to_axial(col: int, row: int) -> tuple[int, int]:
+    q = col - (row + (row & 1)) // 2
+    return q, row
+
+
+def grid_distance(topology: Topology, a: Tile, b: Tile) -> int:
+    """Distance in grid steps for the given topology."""
+    if topology is Topology.CARTESIAN:
+        return manhattan(a, b)
+    return hex_distance(a, b)

@@ -1,0 +1,392 @@
+"""Clocked gate-level FCN layouts.
+
+A :class:`GateLayout` is a bounded grid of clocked tiles, each optionally
+hosting one layout element: a primary input/output pad, a logic gate, a
+wire segment (modelled, as in *fiction*, as a ``BUF`` node), or — on the
+crossing layer ``z = 1`` — a second wire crossing over the ground layer.
+
+Connectivity is explicit: every element stores the tiles its fanin
+signals come from.  All structural legality rules (adjacency, clocking
+consistency, arities) are checked by :mod:`repro.layout.verification`;
+the data structure itself only guards against double-occupancy and
+dangling references so that algorithms can build layouts incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..networks.logic_network import GateType, LogicNetwork
+from .clocking import OPEN, ClockingScheme
+from .coordinates import Tile, Topology, adjacent, neighbors
+
+
+@dataclass(frozen=True)
+class LayoutGate:
+    """One occupied tile: its function, fanin tiles, and optional name."""
+
+    gate_type: GateType
+    fanins: tuple[Tile, ...] = ()
+    name: str | None = None
+
+    @property
+    def is_wire(self) -> bool:
+        return self.gate_type is GateType.BUF
+
+    @property
+    def is_pi(self) -> bool:
+        return self.gate_type is GateType.PI
+
+    @property
+    def is_po(self) -> bool:
+        return self.gate_type is GateType.PO
+
+    @property
+    def is_fanout(self) -> bool:
+        return self.gate_type is GateType.FANOUT
+
+    @property
+    def is_logic(self) -> bool:
+        return not (self.is_wire or self.is_pi or self.is_po or self.is_fanout)
+
+
+class GateLayout:
+    """A gate-level layout on a clocked Cartesian or hexagonal grid."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        scheme: ClockingScheme,
+        topology: Topology = Topology.CARTESIAN,
+        name: str = "",
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("layout dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.scheme = scheme
+        self.topology = topology
+        self.name = name
+        self._tiles: dict[Tile, LayoutGate] = {}
+        self._pis: list[Tile] = []
+        self._pos: list[Tile] = []
+        self._zones: dict[Tile, int] = {}
+        self._readers: dict[Tile, list[Tile]] = {}
+
+    # -- geometry ------------------------------------------------------------
+
+    def in_bounds(self, tile: Tile) -> bool:
+        return 0 <= tile.x < self.width and 0 <= tile.y < self.height and tile.z in (0, 1)
+
+    def resize(self, width: int, height: int) -> None:
+        """Grow or shrink the grid; occupied tiles must stay in bounds."""
+        for tile in self._tiles:
+            if tile.x >= width or tile.y >= height:
+                raise ValueError(f"cannot shrink: tile {tile} occupied")
+        self.width = width
+        self.height = height
+
+    def area(self) -> int:
+        """Layout area in tiles (``width × height``), as in Table I."""
+        return self.width * self.height
+
+    def bounding_box(self) -> tuple[int, int]:
+        """Width/height of the minimal box enclosing all occupied tiles."""
+        if not self._tiles:
+            return 0, 0
+        max_x = max(t.x for t in self._tiles)
+        max_y = max(t.y for t in self._tiles)
+        return max_x + 1, max_y + 1
+
+    def shrink_to_fit(self) -> None:
+        """Crop the grid to the occupied bounding box."""
+        w, h = self.bounding_box()
+        if w and h:
+            self.width, self.height = w, h
+
+    # -- clocking --------------------------------------------------------------
+
+    def zone(self, tile: Tile) -> int:
+        """Clock zone of ``tile``."""
+        if self.scheme.regular:
+            return self.scheme.zone(tile)
+        return self._zones.get(tile.ground, 0)
+
+    def assign_zone(self, tile: Tile, zone: int) -> None:
+        """Assign an explicit zone (OPEN clocking only)."""
+        if self.scheme.regular:
+            raise ValueError(f"{self.scheme.name} derives zones; cannot assign")
+        if not 0 <= zone < self.scheme.num_phases:
+            raise ValueError(f"zone {zone} out of range")
+        self._zones[tile.ground] = zone
+
+    def is_incoming_clocked(self, target: Tile, source: Tile) -> bool:
+        """True if the clocking admits data flow ``source`` → ``target``."""
+        return (self.zone(source) + 1) % self.scheme.num_phases == self.zone(target)
+
+    def outgoing_tiles(self, tile: Tile) -> list[Tile]:
+        """In-bounds neighbours that ``tile`` may send data into."""
+        return [
+            t
+            for t in neighbors(self.topology, tile.ground, self.width, self.height)
+            if self.is_incoming_clocked(t, tile)
+        ]
+
+    def incoming_tiles(self, tile: Tile) -> list[Tile]:
+        """In-bounds neighbours that may send data into ``tile``."""
+        return [
+            t
+            for t in neighbors(self.topology, tile.ground, self.width, self.height)
+            if self.is_incoming_clocked(tile, t)
+        ]
+
+    # -- occupancy ---------------------------------------------------------------
+
+    def get(self, tile: Tile) -> LayoutGate | None:
+        return self._tiles.get(tile)
+
+    def is_occupied(self, tile: Tile) -> bool:
+        return tile in self._tiles
+
+    def __len__(self) -> int:
+        """Number of occupied tiles."""
+        return len(self._tiles)
+
+    def tiles(self):
+        """All occupied (tile, element) pairs, in insertion order."""
+        return iter(self._tiles.items())
+
+    def pis(self) -> list[Tile]:
+        return list(self._pis)
+
+    def pos(self) -> list[Tile]:
+        return list(self._pos)
+
+    # -- element creation -----------------------------------------------------------
+
+    def _place(self, tile: Tile, gate: LayoutGate) -> Tile:
+        if not self.in_bounds(tile):
+            raise ValueError(f"tile {tile} out of bounds ({self.width}×{self.height})")
+        if tile in self._tiles:
+            raise ValueError(f"tile {tile} already occupied")
+        for fanin in gate.fanins:
+            if fanin not in self._tiles:
+                raise ValueError(f"fanin tile {fanin} of {tile} is empty")
+        if tile.z == 1 and gate.gate_type is not GateType.BUF:
+            raise ValueError("crossing layer admits only wire segments")
+        self._tiles[tile] = gate
+        for fanin in gate.fanins:
+            self._readers.setdefault(fanin, []).append(tile)
+        return tile
+
+    def create_pi(self, tile: Tile, name: str | None = None) -> Tile:
+        """Place a primary input pad."""
+        tile = Tile(*tile)
+        self._place(tile, LayoutGate(GateType.PI, (), name))
+        self._pis.append(tile)
+        return tile
+
+    def create_po(self, tile: Tile, fanin: Tile, name: str | None = None) -> Tile:
+        """Place a primary output pad reading from ``fanin``."""
+        tile, fanin = Tile(*tile), Tile(*fanin)
+        self._place(tile, LayoutGate(GateType.PO, (fanin,), name))
+        self._pos.append(tile)
+        return tile
+
+    def create_gate(self, gate_type: GateType, tile: Tile, fanins, name: str | None = None) -> Tile:
+        """Place a logic gate (or fanout) reading from ``fanins``."""
+        tile = Tile(*tile)
+        fanins = tuple(Tile(*f) for f in fanins)
+        if gate_type in (GateType.PI, GateType.PO):
+            raise ValueError("use create_pi/create_po for I/O pads")
+        if gate_type.is_source:
+            raise ValueError("constants are not placed on tiles")
+        if len(fanins) != gate_type.arity:
+            raise ValueError(
+                f"{gate_type.value} expects {gate_type.arity} fanins, got {len(fanins)}"
+            )
+        return self._place(tile, LayoutGate(gate_type, fanins, name))
+
+    def create_wire(self, tile: Tile, fanin: Tile) -> Tile:
+        """Place a wire segment forwarding the signal from ``fanin``."""
+        tile, fanin = Tile(*tile), Tile(*fanin)
+        return self._place(tile, LayoutGate(GateType.BUF, (fanin,)))
+
+    # -- mutation ---------------------------------------------------------------------
+
+    def remove(self, tile: Tile) -> LayoutGate:
+        """Remove the element on ``tile``; readers keep dangling refs."""
+        tile = Tile(*tile)
+        gate = self._tiles.pop(tile, None)
+        if gate is None:
+            raise ValueError(f"tile {tile} is empty")
+        if gate.is_pi:
+            self._pis.remove(tile)
+        if gate.is_po:
+            self._pos.remove(tile)
+        for fanin in gate.fanins:
+            readers = self._readers.get(fanin)
+            if readers and tile in readers:
+                readers.remove(tile)
+        return gate
+
+    def replace_fanin(self, tile: Tile, old: Tile, new: Tile) -> None:
+        """Rewire one fanin reference of the element on ``tile``."""
+        tile = Tile(*tile)
+        gate = self._tiles.get(tile)
+        if gate is None:
+            raise ValueError(f"tile {tile} is empty")
+        if old not in gate.fanins:
+            raise ValueError(f"{tile} does not read from {old}")
+        fanins = tuple(new if f == old else f for f in gate.fanins)
+        self._tiles[tile] = replace(gate, fanins=fanins)
+        readers = self._readers.get(old)
+        if readers and tile in readers:
+            readers.remove(tile)
+        self._readers.setdefault(new, []).append(tile)
+
+    def move(self, old_tile: Tile, new_tile: Tile, new_fanins=None) -> None:
+        """Relocate an element, rewiring its readers to the new tile."""
+        old_tile, new_tile = Tile(*old_tile), Tile(*new_tile)
+        if old_tile == new_tile and new_fanins is None:
+            return
+        readers = self.readers(old_tile)
+        pi_index = self._pis.index(old_tile) if old_tile in self._pis else None
+        po_index = self._pos.index(old_tile) if old_tile in self._pos else None
+        gate = self.remove(old_tile)
+        if new_fanins is not None:
+            gate = replace(gate, fanins=tuple(Tile(*f) for f in new_fanins))
+        self._place(new_tile, gate)
+        # Preserve interface ordering: re-insert at the original position.
+        if pi_index is not None:
+            self._pis.insert(pi_index, new_tile)
+        if po_index is not None:
+            self._pos.insert(po_index, new_tile)
+        for reader in readers:
+            if reader in self._tiles:
+                self.replace_fanin(reader, old_tile, new_tile)
+
+    # -- connectivity -------------------------------------------------------------------
+
+    def readers(self, tile: Tile) -> list[Tile]:
+        """Tiles whose element reads from ``tile``."""
+        return list(self._readers.get(Tile(*tile), []))
+
+    def fanout_degree(self, tile: Tile) -> int:
+        return len(self.readers(tile))
+
+    def topological_tiles(self) -> list[Tile]:
+        """Occupied tiles in dataflow topological order.
+
+        Raises ``ValueError`` if the connectivity graph has a cycle
+        (possible on feedback-capable schemes with broken wiring).
+        """
+        indegree: dict[Tile, int] = {}
+        for tile, gate in self._tiles.items():
+            indegree[tile] = len(gate.fanins)
+        ready = [t for t, d in indegree.items() if d == 0]
+        order: list[Tile] = []
+        while ready:
+            tile = ready.pop()
+            order.append(tile)
+            for reader in self.readers(tile):
+                indegree[reader] -= len([f for f in self._tiles[reader].fanins if f == tile])
+                if indegree[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self._tiles):
+            raise ValueError("layout connectivity contains a cycle or dangling fanin")
+        return order
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def num_gates(self) -> int:
+        """Logic gates plus fanouts (wires and I/O pads excluded)."""
+        return sum(1 for g in self._tiles.values() if g.is_logic or g.is_fanout)
+
+    def num_wires(self) -> int:
+        """Wire segments, including crossing-layer segments."""
+        return sum(1 for g in self._tiles.values() if g.is_wire)
+
+    def num_crossings(self) -> int:
+        """Occupied crossing-layer tiles."""
+        return sum(1 for t in self._tiles if t.z == 1)
+
+    # -- extraction ----------------------------------------------------------------------
+
+    def extract_network(self) -> LogicNetwork:
+        """Rebuild the implemented :class:`LogicNetwork` for verification."""
+        ntk = LogicNetwork(self.name)
+        signal: dict[Tile, int] = {}
+        # PIs first, in placement order, so the network interface matches
+        # the specification the layout was generated from.
+        for tile in self._pis:
+            signal[tile] = ntk.create_pi(self._tiles[tile].name)
+        for tile in self.topological_tiles():
+            gate = self._tiles[tile]
+            t = gate.gate_type
+            if t is GateType.PI:
+                continue
+            if t is GateType.PO:
+                continue
+            if t in (GateType.BUF, GateType.FANOUT):
+                signal[tile] = ntk.create_buf(signal[gate.fanins[0]])
+            else:
+                signal[tile] = ntk.create_gate(t, tuple(signal[f] for f in gate.fanins))
+        # Emit POs in placement order for a stable interface.
+        for tile in self._pos:
+            gate = self._tiles[tile]
+            ntk.create_po(signal[gate.fanins[0]], gate.name)
+        return ntk
+
+    def clone(self) -> "GateLayout":
+        out = GateLayout(self.width, self.height, self.scheme, self.topology, self.name)
+        out._tiles = dict(self._tiles)
+        out._pis = list(self._pis)
+        out._pos = list(self._pos)
+        out._zones = dict(self._zones)
+        out._readers = {k: list(v) for k, v in self._readers.items()}
+        return out
+
+    # -- rendering ------------------------------------------------------------------------
+
+    _GLYPHS = {
+        GateType.PI: "I",
+        GateType.PO: "O",
+        GateType.BUF: "+",
+        GateType.FANOUT: "F",
+        GateType.AND: "&",
+        GateType.NAND: "D",
+        GateType.OR: "|",
+        GateType.NOR: "R",
+        GateType.XOR: "^",
+        GateType.XNOR: "X",
+        GateType.NOT: "~",
+        GateType.MAJ: "M",
+        GateType.MUX: "?",
+    }
+
+    def render(self) -> str:
+        """ASCII art of the ground layer (crossings marked ``x``)."""
+        rows = []
+        for y in range(self.height):
+            row = []
+            for x in range(self.width):
+                ground = self._tiles.get(Tile(x, y, 0))
+                above = Tile(x, y, 1) in self._tiles
+                if ground is None:
+                    row.append(".")
+                elif above:
+                    row.append("x")
+                else:
+                    row.append(self._GLYPHS.get(ground.gate_type, "?"))
+            indent = " " if self.topology is not Topology.CARTESIAN and y % 2 == 0 else ""
+            rows.append(indent + " ".join(row))
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"GateLayout(name={self.name!r}, {self.width}×{self.height}, "
+            f"{self.scheme.name}, {self.topology.short_name}, "
+            f"gates={self.num_gates()}, wires={self.num_wires()})"
+        )

@@ -1,0 +1,93 @@
+"""Layout quality metrics.
+
+These are the figures MNT Bench reports for every benchmark file and
+that Table I of the paper tabulates: bounding-box width/height/area (in
+tiles), wire and crossing counts, plus the timing figures fiction
+computes for clocked layouts (critical path length and throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .gate_layout import GateLayout
+
+
+@dataclass(frozen=True)
+class LayoutMetrics:
+    """Summary metrics of a gate-level layout."""
+
+    width: int
+    height: int
+    area: int
+    num_gates: int
+    num_wires: int
+    num_crossings: int
+    critical_path: int
+    throughput: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.width} × {self.height} = {self.area} tiles, "
+            f"{self.num_gates} gates, {self.num_wires} wires, "
+            f"{self.num_crossings} crossings, CP {self.critical_path}, "
+            f"throughput 1/{self.throughput}"
+        )
+
+
+def critical_path_length(layout: GateLayout) -> int:
+    """Longest PI→PO path in tiles (including both endpoints)."""
+    depth: dict = {}
+    best = 0
+    for tile in layout.topological_tiles():
+        gate = layout.get(tile)
+        assert gate is not None
+        if gate.fanins:
+            depth[tile] = 1 + max(depth[f] for f in gate.fanins)
+        else:
+            depth[tile] = 1
+        if gate.is_po:
+            best = max(best, depth[tile])
+    return best
+
+
+def throughput(layout: GateLayout) -> int:
+    """Throughput denominator: a new input is accepted every ``1/x`` cycles.
+
+    In a four-phase clocked layout, reconvergent paths whose lengths
+    differ by a non-multiple of the number of phases force the layout to
+    wait additional cycles between inputs.  The throughput is determined
+    by the largest path-length imbalance, measured in full clock cycles,
+    over all reconvergent fanins — the computation fiction performs for
+    its ``critical_path_length_and_throughput`` call.
+    """
+    phases = layout.scheme.num_phases
+    depth: dict = {}
+    worst = 0
+    for tile in layout.topological_tiles():
+        gate = layout.get(tile)
+        assert gate is not None
+        if not gate.fanins:
+            depth[tile] = 0
+            continue
+        fanin_depths = [depth[f] for f in gate.fanins]
+        depth[tile] = 1 + max(fanin_depths)
+        if len(fanin_depths) > 1:
+            imbalance = max(fanin_depths) - min(fanin_depths)
+            worst = max(worst, imbalance // phases)
+    return worst + 1
+
+
+def compute_metrics(layout: GateLayout) -> LayoutMetrics:
+    """All metrics of a layout in one pass-friendly record."""
+    width, height = layout.bounding_box()
+    return LayoutMetrics(
+        width=width,
+        height=height,
+        area=width * height,
+        num_gates=layout.num_gates(),
+        num_wires=layout.num_wires(),
+        num_crossings=layout.num_crossings(),
+        critical_path=critical_path_length(layout),
+        throughput=throughput(layout),
+    )

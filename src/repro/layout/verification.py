@@ -1,0 +1,168 @@
+"""Design-rule checking for gate-level layouts.
+
+This is the reproduction of fiction's ``gate_level_drvs`` (design rule
+violations) pass, which MNT Bench runs over every generated file before
+publishing it.  A layout is *well-formed* when:
+
+* every fanin reference points at an adjacent, occupied tile,
+* data flow respects the clocking (zone of source + 1 ≡ zone of target),
+* every element has the fanin count its gate type requires,
+* fanout degrees respect tile capabilities (1 for gates/wires/PIs,
+  ``max_fanout`` for fanout tiles, 0 for POs),
+* every fanin enters through a *distinct* tile side — a tile edge
+  carries one signal (two stacked wires cross, they do not run parallel),
+* crossing-layer tiles are wires sitting above occupied ground tiles,
+* the connectivity graph is acyclic and every non-PO element is read,
+* border I/O: PIs/POs sit on the layout border (MNT Bench convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..networks.logic_network import GateType
+from .coordinates import Tile, adjacent
+from .gate_layout import GateLayout
+
+
+@dataclass
+class DrcReport:
+    """Outcome of a design-rule check: a list of human-readable violations."""
+
+    violations: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def summary(self) -> str:
+        if self.ok and not self.warnings:
+            return "DRC clean"
+        lines = [f"{len(self.violations)} violation(s), {len(self.warnings)} warning(s)"]
+        lines += [f"  E: {v}" for v in self.violations]
+        lines += [f"  W: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def check_layout(
+    layout: GateLayout,
+    max_fanout: int = 2,
+    require_border_io: bool = False,
+) -> DrcReport:
+    """Run all design-rule checks over ``layout``."""
+    report = DrcReport()
+    _check_structure(layout, report)
+    _check_entry_sides(layout, report)
+    _check_clocking(layout, report)
+    _check_fanout_capacity(layout, report, max_fanout)
+    _check_crossings(layout, report)
+    _check_io(layout, report, require_border_io)
+    _check_dataflow(layout, report)
+    return report
+
+
+def _check_structure(layout: GateLayout, report: DrcReport) -> None:
+    for tile, gate in layout.tiles():
+        if len(gate.fanins) != gate.gate_type.arity:
+            report.add(
+                f"{tile}: {gate.gate_type.value} has {len(gate.fanins)} fanins, "
+                f"expected {gate.gate_type.arity}"
+            )
+        if len(set(gate.fanins)) != len(gate.fanins):
+            report.add(f"{tile}: duplicate fanin references")
+        for fanin in gate.fanins:
+            if not layout.is_occupied(fanin):
+                report.add(f"{tile}: fanin {fanin} is an empty tile")
+                continue
+            if not adjacent(layout.topology, fanin.ground, tile.ground) and fanin.ground != tile.ground:
+                report.add(f"{tile}: fanin {fanin} is not adjacent")
+
+
+def _check_entry_sides(layout: GateLayout, report: DrcReport) -> None:
+    """Each fanin must enter through its own side of the tile.
+
+    Two fanins arriving from the same neighbouring position (one on the
+    ground layer, one on the crossing layer) would put two signals on
+    the same tile edge, which no FCN gate implementation supports.
+    """
+    for tile, gate in layout.tiles():
+        if len(gate.fanins) < 2:
+            continue
+        sides = [f.ground for f in gate.fanins]
+        if len(set(sides)) != len(sides):
+            report.add(f"{tile}: multiple fanins enter through the same side")
+
+
+def _check_clocking(layout: GateLayout, report: DrcReport) -> None:
+    for tile, gate in layout.tiles():
+        for fanin in gate.fanins:
+            if not layout.is_occupied(fanin):
+                continue
+            if fanin.ground == tile.ground:
+                # Vertical (inter-layer) hop on the same tile: used when a
+                # crossing wire descends; zones coincide by construction.
+                continue
+            if not layout.is_incoming_clocked(tile, fanin):
+                report.add(
+                    f"{tile} (zone {layout.zone(tile)}): fanin {fanin} "
+                    f"(zone {layout.zone(fanin)}) violates clocking"
+                )
+
+
+def _check_fanout_capacity(layout: GateLayout, report: DrcReport, max_fanout: int) -> None:
+    for tile, gate in layout.tiles():
+        degree = layout.fanout_degree(tile)
+        if gate.is_po:
+            if degree:
+                report.add(f"{tile}: PO is read by {degree} tile(s)")
+        elif gate.is_fanout:
+            if degree > max_fanout:
+                report.add(f"{tile}: fanout degree {degree} exceeds {max_fanout}")
+        elif degree > 1:
+            report.add(f"{tile}: {gate.gate_type.value} drives {degree} readers")
+
+
+def _check_crossings(layout: GateLayout, report: DrcReport) -> None:
+    for tile, gate in layout.tiles():
+        if tile.z == 0:
+            continue
+        if gate.gate_type is not GateType.BUF:
+            report.add(f"{tile}: crossing layer hosts {gate.gate_type.value}")
+        ground = layout.get(tile.ground)
+        if ground is None:
+            report.warn(f"{tile}: crossing wire above an empty ground tile")
+
+
+def _check_io(layout: GateLayout, report: DrcReport, require_border: bool) -> None:
+    if not layout.pis():
+        report.warn("layout has no primary inputs")
+    if not layout.pos():
+        report.add("layout has no primary outputs")
+    if not require_border:
+        return
+    width, height = layout.width, layout.height
+    for tile in layout.pis() + layout.pos():
+        on_border = tile.x in (0, width - 1) or tile.y in (0, height - 1)
+        if not on_border:
+            report.warn(f"{tile}: I/O pad not on the layout border")
+
+
+def _check_dataflow(layout: GateLayout, report: DrcReport) -> None:
+    try:
+        layout.topological_tiles()
+    except ValueError as exc:
+        report.add(str(exc))
+        return
+    for tile, gate in layout.tiles():
+        if not gate.is_po and layout.fanout_degree(tile) == 0:
+            report.warn(f"{tile}: {gate.gate_type.value} output is unread")

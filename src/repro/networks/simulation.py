@@ -1,0 +1,98 @@
+"""Network simulation and equivalence checking helpers.
+
+Small networks are compared exhaustively through their truth tables;
+larger networks (ISCAS85/EPFL scale) are compared on deterministic random
+stimulus, which is how equivalence is sanity-checked for layouts that are
+too large for exhaustive simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .logic_network import LogicNetwork
+
+#: Networks with at most this many PIs are checked exhaustively.
+EXHAUSTIVE_LIMIT = 12
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence check between two designs."""
+
+    equivalent: bool
+    counterexample: tuple[bool, ...] | None = None
+    checked_exhaustively: bool = False
+    num_vectors: int = 0
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def random_vectors(num_inputs: int, num_vectors: int, seed: int = 0):
+    """Deterministic random input vectors (each a tuple of booleans)."""
+    rng = random.Random(seed)
+    for _ in range(num_vectors):
+        yield tuple(bool(rng.getrandbits(1)) for _ in range(num_inputs))
+
+
+def all_vectors(num_inputs: int):
+    """All input vectors in row order (variable 0 is the LSB)."""
+    for row in range(1 << num_inputs):
+        yield tuple(bool(row >> i & 1) for i in range(num_inputs))
+
+
+def _interface_compatible(a: LogicNetwork, b: LogicNetwork) -> str | None:
+    if a.num_pis() != b.num_pis():
+        return f"PI count mismatch: {a.num_pis()} vs {b.num_pis()}"
+    if a.num_pos() != b.num_pos():
+        return f"PO count mismatch: {a.num_pos()} vs {b.num_pos()}"
+    return None
+
+
+def check_equivalence(
+    a: LogicNetwork,
+    b: LogicNetwork,
+    num_vectors: int = 256,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Check whether two networks compute the same functions.
+
+    PIs and POs are matched by position.  Up to :data:`EXHAUSTIVE_LIMIT`
+    inputs the check is a proof; beyond that it samples ``num_vectors``
+    deterministic random vectors (always including all-zeros/all-ones).
+    """
+    problem = _interface_compatible(a, b)
+    if problem is not None:
+        return EquivalenceResult(False, None)
+    n = a.num_pis()
+    if n <= EXHAUSTIVE_LIMIT:
+        vectors = all_vectors(n)
+        exhaustive = True
+    else:
+        corner = [tuple([False] * n), tuple([True] * n)]
+        vectors = corner + list(random_vectors(n, num_vectors, seed))
+        exhaustive = False
+    checked = 0
+    for vector in vectors:
+        checked += 1
+        if a.evaluate(vector) != b.evaluate(vector):
+            return EquivalenceResult(False, vector, exhaustive, checked)
+    return EquivalenceResult(True, None, exhaustive, checked)
+
+
+def output_signature(network: LogicNetwork, num_vectors: int = 64, seed: int = 7) -> tuple:
+    """A hashable functional signature over deterministic stimulus.
+
+    Two networks with different signatures are definitely inequivalent;
+    identical signatures indicate likely equivalence.  Used by the
+    benchmark database to detect accidental corruption of generated files.
+    """
+    n = network.num_pis()
+    if n <= EXHAUSTIVE_LIMIT:
+        return tuple(t.bits for t in network.simulate())
+    rows = []
+    for vector in random_vectors(n, num_vectors, seed):
+        rows.append(tuple(network.evaluate(vector)))
+    return tuple(rows)

@@ -1,0 +1,212 @@
+"""Network rewriting passes used to prepare networks for physical design.
+
+Physical design algorithms in this reproduction require networks whose
+gates read only real signals (no constant fanins) and — for the layout
+stage — bounded fanout (see ``LogicNetwork.substitute_fanout``).  These
+passes establish those invariants while preserving functionality.
+"""
+
+from __future__ import annotations
+
+from .logic_network import GateType, LogicNetwork
+
+
+def propagate_constants(network: LogicNetwork) -> LogicNetwork:
+    """Return a copy with constant fanins folded into the gates.
+
+    ``MAJ(a, b, 0)`` becomes ``AND(a, b)``, ``XOR(a, 0)`` becomes a
+    buffer, and so on.  Gates that collapse entirely to a constant pull
+    that constant further through their readers.  The output network's
+    gates read only PIs and other gates; a PO may still reference a
+    constant if the whole cone is degenerate.
+    """
+    out = LogicNetwork(network.name)
+    mapping: dict[int, int] = {0: 0, 1: 1}
+
+    def const_of(uid: int) -> bool | None:
+        """The constant value of a mapped signal, if it is one."""
+        if mapping[uid] == 0:
+            return False
+        if mapping[uid] == 1:
+            return True
+        return None
+
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if network.is_constant(uid):
+            continue
+        if node.gate_type is GateType.PI:
+            mapping[uid] = out.create_pi(node.name)
+            continue
+        consts = [const_of(f) for f in node.fanins]
+        signals = [mapping[f] for f in node.fanins]
+        mapping[uid] = _fold(out, node.gate_type, signals, consts)
+
+    for signal, name in network.pos():
+        target = mapping[signal]
+        # POs must reference a physical node; materialise constants as
+        # single-input gates over an arbitrary PI when one exists.
+        out.create_po(target, name)
+    return out.cleanup_dangling()
+
+
+def _fold(out: LogicNetwork, gate: GateType, signals: list[int], consts: list) -> int:
+    """Create the simplified replica of one gate, folding constants."""
+    if gate in (GateType.BUF, GateType.FANOUT):
+        return signals[0]
+    if gate is GateType.NOT:
+        if consts[0] is not None:
+            return out.get_constant(not consts[0])
+        return out.create_not(signals[0])
+    if gate in (GateType.AND, GateType.NAND):
+        result = _fold_and(out, signals, consts)
+        return _maybe_invert(out, result, gate is GateType.NAND)
+    if gate in (GateType.OR, GateType.NOR):
+        # a ∨ b = ¬(¬a ∧ ¬b) — reuse AND folding through De Morgan on
+        # constants only; structural inverters are created directly.
+        if consts[0] is True or consts[1] is True:
+            result = out.get_constant(True)
+        elif consts[0] is False:
+            result = signals[1]
+        elif consts[1] is False:
+            result = signals[0]
+        else:
+            result = out.create_or(signals[0], signals[1])
+        return _maybe_invert(out, result, gate is GateType.NOR)
+    if gate in (GateType.XOR, GateType.XNOR):
+        invert = gate is GateType.XNOR
+        if consts[0] is not None and consts[1] is not None:
+            return out.get_constant((consts[0] != consts[1]) != invert)
+        if consts[0] is not None or consts[1] is not None:
+            const = consts[0] if consts[0] is not None else consts[1]
+            signal = signals[1] if consts[0] is not None else signals[0]
+            flip = bool(const) != invert
+            return out.create_not(signal) if flip else signal
+        result = out.create_xor(signals[0], signals[1])
+        return _maybe_invert(out, result, invert)
+    if gate is GateType.MAJ:
+        known = [c for c in consts if c is not None]
+        if len(known) == 3:
+            return out.get_constant(sum(known) >= 2)
+        if len(known) == 2:
+            if known[0] == known[1]:
+                return out.get_constant(known[0])
+            # One true, one false: majority follows the remaining signal.
+            return next(s for s, c in zip(signals, consts) if c is None)
+        if len(known) == 1:
+            remaining = [s for s, c in zip(signals, consts) if c is None]
+            if known[0]:
+                return out.create_or(remaining[0], remaining[1])
+            return out.create_and(remaining[0], remaining[1])
+        return out.create_maj(*signals)
+    if gate is GateType.MUX:
+        select, then, orelse = consts
+        s_sig, t_sig, e_sig = signals
+        if select is not None:
+            return t_sig if select else e_sig
+        if then is not None and orelse is not None:
+            if then == orelse:
+                return out.get_constant(then)
+            if then and not orelse:
+                return s_sig
+            return out.create_not(s_sig)
+        if then is True:
+            return out.create_or(s_sig, e_sig)
+        if then is False:
+            return out.create_and(out.create_not(s_sig), e_sig)
+        if orelse is True:
+            return out.create_or(out.create_not(s_sig), t_sig)
+        if orelse is False:
+            return out.create_and(s_sig, t_sig)
+        return out.create_mux(s_sig, t_sig, e_sig)
+    raise ValueError(f"cannot fold gate type {gate}")
+
+
+def _fold_and(out: LogicNetwork, signals: list[int], consts: list) -> int:
+    if consts[0] is False or consts[1] is False:
+        return out.get_constant(False)
+    if consts[0] is True:
+        return signals[1]
+    if consts[1] is True:
+        return signals[0]
+    return out.create_and(signals[0], signals[1])
+
+
+def _maybe_invert(out: LogicNetwork, signal: int, invert: bool) -> int:
+    if not invert:
+        return signal
+    if signal == 0:
+        return 1
+    if signal == 1:
+        return 0
+    return out.create_not(signal)
+
+
+def decompose_to_aoig(network: LogicNetwork, keep_two_input: bool = False) -> LogicNetwork:
+    """Rewrite MAJ/MUX (and optionally XOR/XNOR/NAND/NOR) into AND/OR/NOT.
+
+    This is the AOIG form the scalable ortho algorithm [6] was originally
+    formulated over; running it first makes ortho applicable to networks
+    containing the richer gate set.  With ``keep_two_input=True`` only
+    the three-input gates (MAJ, MUX) are decomposed — the form used for
+    Bestagon-targeted flows, whose gate library is two-input complete.
+    """
+    out = LogicNetwork(network.name)
+    mapping: dict[int, int] = {0: 0, 1: 1}
+    for uid in network.topological_order():
+        node = network.node(uid)
+        if network.is_constant(uid):
+            continue
+        if node.gate_type is GateType.PI:
+            mapping[uid] = out.create_pi(node.name)
+            continue
+        f = [mapping[x] for x in node.fanins]
+        t = node.gate_type
+        if keep_two_input and t in (
+            GateType.NAND, GateType.NOR, GateType.XOR, GateType.XNOR
+        ):
+            mapping[uid] = out.create_gate(t, f, node.name)
+        elif t in (GateType.BUF, GateType.FANOUT):
+            mapping[uid] = out.create_buf(f[0])
+        elif t is GateType.NOT:
+            mapping[uid] = out.create_not(f[0])
+        elif t is GateType.AND:
+            mapping[uid] = out.create_and(f[0], f[1])
+        elif t is GateType.OR:
+            mapping[uid] = out.create_or(f[0], f[1])
+        elif t is GateType.NAND:
+            mapping[uid] = out.create_not(out.create_and(f[0], f[1]))
+        elif t is GateType.NOR:
+            mapping[uid] = out.create_not(out.create_or(f[0], f[1]))
+        elif t in (GateType.XOR, GateType.XNOR):
+            na = out.create_not(f[0])
+            nb = out.create_not(f[1])
+            if t is GateType.XOR:
+                mapping[uid] = out.create_or(
+                    out.create_and(f[0], nb), out.create_and(na, f[1])
+                )
+            else:
+                mapping[uid] = out.create_or(
+                    out.create_and(f[0], f[1]), out.create_and(na, nb)
+                )
+        elif t is GateType.MAJ:
+            ab = out.create_and(f[0], f[1])
+            ac = out.create_and(f[0], f[2])
+            bc = out.create_and(f[1], f[2])
+            mapping[uid] = out.create_or(out.create_or(ab, ac), bc)
+        elif t is GateType.MUX:
+            ns = out.create_not(f[0])
+            mapping[uid] = out.create_or(
+                out.create_and(f[0], f[1]), out.create_and(ns, f[2])
+            )
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled gate type {t}")
+    for signal, name in network.pos():
+        out.create_po(mapping[signal], name)
+    return out.cleanup_dangling()
+
+
+def prepare_for_layout(network: LogicNetwork, max_fanout: int = 2) -> LogicNetwork:
+    """Constant-propagate and fanout-substitute a network for placement."""
+    folded = propagate_constants(network)
+    return folded.substitute_fanout(max_fanout)

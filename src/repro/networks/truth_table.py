@@ -1,0 +1,178 @@
+"""Bit-parallel truth tables for small Boolean functions.
+
+A :class:`TruthTable` stores the output column of a Boolean function over
+``num_vars`` inputs as a Python integer bit mask: bit ``i`` of ``bits`` is
+the function value for the input assignment whose binary encoding is ``i``
+(variable 0 is the least significant input bit).
+
+This mirrors the role ``kitty`` plays inside the *fiction* framework that
+MNT Bench builds on: compact functional specifications that network and
+layout simulation can be checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _mask(num_vars: int) -> int:
+    """All-ones mask covering every row of a ``num_vars``-input table."""
+    return (1 << (1 << num_vars)) - 1
+
+
+def _projection(var: int, num_vars: int) -> int:
+    """Bit mask of the projection function ``f(x) = x[var]``.
+
+    Row ``i`` is true iff bit ``var`` of ``i`` is set; the resulting mask is
+    the classic alternating pattern (0101…, 0011…, 00001111…, …).
+    """
+    if not 0 <= var < num_vars:
+        raise ValueError(f"variable {var} out of range for {num_vars} inputs")
+    bits = 0
+    for row in range(1 << num_vars):
+        if row >> var & 1:
+            bits |= 1 << row
+    return bits
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """An immutable single-output truth table over ``num_vars`` variables."""
+
+    num_vars: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        if self.num_vars > 20:
+            raise ValueError("truth tables beyond 20 variables are not supported")
+        if self.bits & ~_mask(self.num_vars):
+            raise ValueError("bits outside the table range")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def constant(value: bool, num_vars: int = 0) -> "TruthTable":
+        """The constant-``value`` function."""
+        return TruthTable(num_vars, _mask(num_vars) if value else 0)
+
+    @staticmethod
+    def projection(var: int, num_vars: int) -> "TruthTable":
+        """The function returning input variable ``var`` unchanged."""
+        return TruthTable(num_vars, _projection(var, num_vars))
+
+    @staticmethod
+    def from_rows(rows) -> "TruthTable":
+        """Build a table from an iterable of 0/1 row values (row 0 first)."""
+        rows = list(rows)
+        size = len(rows)
+        if size == 0 or size & (size - 1):
+            raise ValueError("number of rows must be a positive power of two")
+        num_vars = size.bit_length() - 1
+        bits = 0
+        for i, value in enumerate(rows):
+            if value not in (0, 1, True, False):
+                raise ValueError(f"row {i} is not boolean: {value!r}")
+            if value:
+                bits |= 1 << i
+        return TruthTable(num_vars, bits)
+
+    @staticmethod
+    def from_hex(hex_string: str, num_vars: int) -> "TruthTable":
+        """Parse a kitty-style hexadecimal table representation."""
+        bits = int(hex_string, 16)
+        return TruthTable(num_vars, bits)
+
+    # -- row access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return 1 << self.num_vars
+
+    def get(self, row: int) -> bool:
+        """Value of the function for input assignment ``row``."""
+        if not 0 <= row < len(self):
+            raise IndexError(f"row {row} out of range")
+        return bool(self.bits >> row & 1)
+
+    def rows(self):
+        """Iterate over all row values as booleans (row 0 first)."""
+        for row in range(len(self)):
+            yield bool(self.bits >> row & 1)
+
+    def count_ones(self) -> int:
+        """Number of satisfying assignments."""
+        return self.bits.bit_count()
+
+    # -- operators ---------------------------------------------------------
+
+    def _check_compatible(self, other: "TruthTable") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError("truth tables have different arities")
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.num_vars, self.bits ^ _mask(self.num_vars))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compatible(other)
+        return TruthTable(self.num_vars, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compatible(other)
+        return TruthTable(self.num_vars, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_compatible(other)
+        return TruthTable(self.num_vars, self.bits ^ other.bits)
+
+    @staticmethod
+    def majority(a: "TruthTable", b: "TruthTable", c: "TruthTable") -> "TruthTable":
+        """Three-input majority of aligned tables."""
+        a._check_compatible(b)
+        a._check_compatible(c)
+        bits = (a.bits & b.bits) | (a.bits & c.bits) | (b.bits & c.bits)
+        return TruthTable(a.num_vars, bits)
+
+    @staticmethod
+    def ite(cond: "TruthTable", then: "TruthTable", orelse: "TruthTable") -> "TruthTable":
+        """If-then-else (2:1 multiplexer) of aligned tables."""
+        cond._check_compatible(then)
+        cond._check_compatible(orelse)
+        bits = (cond.bits & then.bits) | (~cond.bits & orelse.bits)
+        return TruthTable(cond.num_vars, bits & _mask(cond.num_vars))
+
+    # -- queries -----------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        return self.bits == 0 or self.bits == _mask(self.num_vars)
+
+    def depends_on(self, var: int) -> bool:
+        """True if the function value changes with input ``var``."""
+        return self._cofactor(var, True) != self._cofactor(var, False)
+
+    def _cofactor(self, var: int, value: bool) -> int:
+        """Bit mask of the cofactor table (still over ``num_vars`` inputs)."""
+        out = 0
+        pos = 0
+        for row in range(len(self)):
+            if bool(row >> var & 1) == value:
+                if self.bits >> row & 1:
+                    out |= 1 << pos
+                pos += 1
+        return out
+
+    def support(self):
+        """List of variables the function functionally depends on."""
+        return [v for v in range(self.num_vars) if self.depends_on(v)]
+
+    def to_hex(self) -> str:
+        """Kitty-style hexadecimal representation."""
+        width = max(1, (1 << self.num_vars) // 4)
+        return format(self.bits, f"0{width}x")
+
+    def to_binary(self) -> str:
+        """Binary string, most significant row first (kitty convention)."""
+        return format(self.bits, f"0{1 << self.num_vars}b")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"TruthTable({self.num_vars} vars, 0x{self.to_hex()})"

@@ -1,0 +1,25 @@
+"""Layout optimization algorithms: PLO, input ordering, hexagonalization."""
+
+from .post_layout import PostLayoutParams, PostLayoutResult, post_layout_optimization
+from .input_ordering import (
+    InputOrderingParams,
+    InputOrderingResult,
+    input_ordering,
+    structural_order,
+)
+from .hexagonalization import HexagonalizationResult, to_hexagonal
+from .wiring_reduction import WiringReductionResult, wiring_reduction
+
+__all__ = [
+    "HexagonalizationResult",
+    "InputOrderingParams",
+    "InputOrderingResult",
+    "PostLayoutParams",
+    "PostLayoutResult",
+    "input_ordering",
+    "post_layout_optimization",
+    "structural_order",
+    "to_hexagonal",
+    "WiringReductionResult",
+    "wiring_reduction",
+]

@@ -1,0 +1,105 @@
+"""Hexagonalization — the "45° turn" (Hofmann et al., IEEE-NANO'23 [7]).
+
+Silicon-dangling-bond layouts use the hexagonal Bestagon gate library
+with ROW clocking, but the scalable physical design algorithms operate
+on Cartesian 2DDWave grids.  The IEEE-NANO paper's observation: rotating
+a 2DDWave layout by 45° maps it *exactly* onto a hexagonal ROW-clocked
+grid — each Cartesian anti-diagonal ``x + y = r`` becomes hexagonal row
+``r``, the east and south neighbours of a tile become its two south-east
+and south-west hexagonal neighbours, and the clock zone is preserved
+verbatim (``(x + y) mod 4`` both before and after).  This avoids
+"reinventing the wheel" of hexagonal placement algorithms.
+
+Concretely, with ``K`` the smallest odd number ≥ the Cartesian height,
+the mapping used here is::
+
+    row(x, y)    = x + y
+    column(x, y) = (x - y + K) // 2
+
+which is injective and sends Cartesian east/south adjacency to
+even-row-offset hexagonal adjacency (the arithmetic is verified by the
+property tests in ``tests/optimization/test_hexagonalization.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..layout.clocking import ROW, TWODDWAVE
+from ..layout.coordinates import Tile, Topology
+from ..layout.gate_layout import GateLayout
+from ..networks.logic_network import GateType
+
+
+@dataclass
+class HexagonalizationResult:
+    """The hexagonal layout plus mapping statistics."""
+
+    layout: GateLayout
+    runtime_seconds: float
+    cartesian_area: int
+    hexagonal_area: int
+
+
+def to_hexagonal(layout: GateLayout, name: str | None = None) -> HexagonalizationResult:
+    """Map a Cartesian 2DDWave layout onto a hexagonal ROW-clocked grid."""
+    started = time.monotonic()
+    if layout.topology is not Topology.CARTESIAN:
+        raise ValueError("hexagonalization expects a Cartesian layout")
+    if layout.scheme is not TWODDWAVE:
+        raise ValueError("hexagonalization is defined for 2DDWave layouts only")
+
+    width, height = layout.bounding_box()
+    k = height if height % 2 == 1 else height + 1
+
+    def mapped(tile: Tile) -> Tile:
+        return Tile((tile.x - tile.y + k) // 2, tile.x + tile.y, tile.z)
+
+    # Normalise columns so the hexagonal layout starts at column 0.  A
+    # uniform column shift preserves hexagonal adjacency and the ROW
+    # clocking (which depends only on the row).
+    positions = [mapped(t) for t, _ in layout.tiles()]
+    min_col = min((p.x for p in positions), default=0)
+    max_col = max((p.x for p in positions), default=0)
+    max_row = max((p.y for p in positions), default=0)
+
+    def normalised(tile: Tile) -> Tile:
+        m = mapped(tile)
+        return Tile(m.x - min_col, m.y, m.z)
+
+    hex_layout = GateLayout(
+        max_col - min_col + 1,
+        max_row + 1,
+        ROW,
+        Topology.HEXAGONAL_EVEN_ROW,
+        name if name is not None else layout.name,
+    )
+
+    for tile in layout.topological_tiles():
+        gate = layout.get(tile)
+        assert gate is not None
+        target = normalised(tile)
+        refs = [normalised(f) for f in gate.fanins]
+        if gate.gate_type is GateType.PI:
+            hex_layout.create_pi(target, gate.name)
+        elif gate.gate_type is GateType.PO:
+            hex_layout.create_po(target, refs[0], gate.name)
+        elif gate.gate_type is GateType.BUF:
+            if target.z == 1:
+                # Crossing wires bypass create_wire's ground-layer checks.
+                hex_layout.create_gate(GateType.BUF, target, refs)
+            else:
+                hex_layout.create_wire(target, refs[0])
+        else:
+            hex_layout.create_gate(gate.gate_type, target, refs, gate.name)
+
+    # Interface order must match the source layout, not traversal order.
+    hex_layout._pis = [normalised(t) for t in layout.pis()]
+    hex_layout._pos = [normalised(t) for t in layout.pos()]
+
+    cart_area = width * height
+    hex_w, hex_h = hex_layout.bounding_box()
+    return HexagonalizationResult(
+        hex_layout, time.monotonic() - started, cart_area, hex_w * hex_h
+    )

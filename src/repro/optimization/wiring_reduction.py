@@ -1,0 +1,173 @@
+"""Wiring reduction: deleting pass-through wire rows and columns.
+
+A further layout optimisation from the *fiction* toolbox MNT Bench
+wraps: scalable placement leaves entire rows (columns) that contain
+nothing but straight vertical (horizontal) wire segments — signals
+marching through on their way south (east).  Such a row can be deleted
+outright: every wire in it is bypassed (its reader rewired to its
+fanin), everything below shifts up by one, and on 2DDWave the clocking
+stays consistent because all relative zone differences along surviving
+connections are preserved.
+
+The pass alternates row and column sweeps until a fixpoint.  It is most
+effective after ortho (whose row/column discipline leaves highway
+stripes) and composes with PLO — Table I's heuristic entries bundle all
+of these under their optimisation suffixes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..layout.clocking import TWODDWAVE
+from ..layout.coordinates import Tile, Topology
+from ..layout.gate_layout import GateLayout
+from ..networks.logic_network import GateType
+
+
+@dataclass
+class WiringReductionResult:
+    """Optimised layout plus statistics."""
+
+    layout: GateLayout
+    runtime_seconds: float
+    rows_deleted: int
+    columns_deleted: int
+    area_before: int
+    area_after: int
+
+    @property
+    def area_reduction(self) -> float:
+        if self.area_before == 0:
+            return 0.0
+        return 1.0 - self.area_after / self.area_before
+
+
+def wiring_reduction(layout: GateLayout) -> WiringReductionResult:
+    """Delete all pass-through wire rows/columns of a 2DDWave layout.
+
+    Returns a *new* layout; the input is left untouched.
+    """
+    if layout.topology is not Topology.CARTESIAN or layout.scheme is not TWODDWAVE:
+        raise ValueError("wiring reduction is defined for Cartesian 2DDWave layouts")
+    started = time.monotonic()
+    width, height = layout.bounding_box()
+    area_before = width * height
+
+    current = layout
+    rows = columns = 0
+    changed = True
+    while changed:
+        changed = False
+        target = _find_deletable(current, axis="row")
+        if target is not None:
+            current = _delete_line(current, target, axis="row")
+            rows += 1
+            changed = True
+            continue
+        target = _find_deletable(current, axis="column")
+        if target is not None:
+            current = _delete_line(current, target, axis="column")
+            columns += 1
+            changed = True
+    if current is layout:
+        current = layout.clone()
+    current.shrink_to_fit()
+    width, height = current.bounding_box()
+    return WiringReductionResult(
+        current, time.monotonic() - started, rows, columns, area_before, width * height
+    )
+
+
+def _find_deletable(layout: GateLayout, axis: str) -> int | None:
+    """Smallest deletable row/column index, or ``None``.
+
+    A line is deletable when every occupied tile on it is a wire whose
+    fanin lies directly before and whose single reader lies directly
+    after it along the axis (a pure pass-through), and the line is not
+    the first or last (I/O pads live on the border).
+    """
+    width, height = layout.bounding_box()
+    span = height if axis == "row" else width
+    occupied_by_line: dict[int, list[Tile]] = {}
+    for tile, _ in layout.tiles():
+        index = tile.y if axis == "row" else tile.x
+        occupied_by_line.setdefault(index, []).append(tile)
+    for index in range(1, span - 1):
+        tiles = occupied_by_line.get(index, [])
+        if not tiles:
+            continue  # empty interior lines get removed too
+        if all(_is_pass_through(layout, t, axis) for t in tiles):
+            return index
+    # Empty interior lines are always deletable.
+    for index in range(1, span - 1):
+        if index not in occupied_by_line:
+            return index
+    return None
+
+
+def _is_pass_through(layout: GateLayout, tile: Tile, axis: str) -> bool:
+    gate = layout.get(tile)
+    assert gate is not None
+    if gate.gate_type is not GateType.BUF:
+        return False
+    readers = layout.readers(tile)
+    if len(readers) != 1:
+        return False
+    fanin = gate.fanins[0]
+    reader = readers[0]
+    if axis == "row":
+        return (
+            fanin.x == tile.x
+            and fanin.y == tile.y - 1
+            and reader.x == tile.x
+            and reader.y == tile.y + 1
+        )
+    return (
+        fanin.y == tile.y
+        and fanin.x == tile.x - 1
+        and reader.y == tile.y
+        and reader.x == tile.x + 1
+    )
+
+
+def _delete_line(layout: GateLayout, index: int, axis: str) -> GateLayout:
+    """Rebuild the layout without row/column ``index``."""
+
+    def remap(tile: Tile) -> Tile:
+        if axis == "row":
+            return Tile(tile.x, tile.y - 1 if tile.y > index else tile.y, tile.z)
+        return Tile(tile.x - 1 if tile.x > index else tile.x, tile.y, tile.z)
+
+    def on_line(tile: Tile) -> bool:
+        return (tile.y if axis == "row" else tile.x) == index
+
+    bypass: dict[Tile, Tile] = {}
+    for tile, gate in layout.tiles():
+        if on_line(tile):
+            bypass[tile] = gate.fanins[0]
+
+    out = GateLayout(
+        max(1, layout.width - (0 if axis == "row" else 1)),
+        max(1, layout.height - (1 if axis == "row" else 0)),
+        layout.scheme,
+        layout.topology,
+        layout.name,
+    )
+    for tile in layout.topological_tiles():
+        if on_line(tile):
+            continue
+        gate = layout.get(tile)
+        assert gate is not None
+        fanins = [remap(bypass.get(f, f)) for f in gate.fanins]
+        target = remap(tile)
+        if gate.is_pi:
+            out.create_pi(target, gate.name)
+        elif gate.is_po:
+            out.create_po(target, fanins[0], gate.name)
+        else:
+            out.create_gate(gate.gate_type, target, fanins, gate.name)
+    out._pis = [remap(t) for t in layout.pis()]
+    out._pos = [remap(t) for t in layout.pos()]
+    return out

@@ -1,0 +1,29 @@
+"""Physical design algorithms: exact, ortho, NanoPlaceR, shared routing."""
+
+from .routing import RoutingOptions, find_path, route, unroute
+from .ortho import OrthoError, OrthoParams, OrthoResult, orthogonal_layout
+from .exact import ExactParams, ExactResult, exact_layout
+from .nanoplacer import (
+    NanoPlaceRParams,
+    NanoPlaceRResult,
+    NanoPlaceRScaleError,
+    nanoplacer_layout,
+)
+
+__all__ = [
+    "ExactParams",
+    "ExactResult",
+    "NanoPlaceRParams",
+    "NanoPlaceRResult",
+    "NanoPlaceRScaleError",
+    "OrthoError",
+    "OrthoParams",
+    "OrthoResult",
+    "RoutingOptions",
+    "exact_layout",
+    "find_path",
+    "nanoplacer_layout",
+    "orthogonal_layout",
+    "route",
+    "unroute",
+]

@@ -1,0 +1,191 @@
+"""NanoPlaceR-style placement (Hofmann et al., DAC'23 LBR [5]).
+
+NanoPlaceR frames FCN placement as a sequential decision process: an RL
+agent places the network's nodes one by one (in topological order) onto
+the 2DDWave grid, an A* router connects each node to its fanins, and the
+reward is the routed layout's area.  Training a neural agent is outside
+the scope of this offline reproduction (no torch/gym; see DESIGN.md §4),
+so the same decision process is driven by **seeded stochastic search**:
+many rollouts sample placement actions from the same action space the RL
+agent uses, each rollout is scored by the same area objective, and the
+best layout over the time/rollout budget is returned.
+
+This preserves NanoPlaceR's observable behaviour in Table I: it explores
+denser packings than ortho's deterministic discipline and therefore
+sometimes wins on small/medium functions (e.g. *cm82a_5*), but its
+per-node search cost keeps it from scaling to the ISCAS85/EPFL sizes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..layout.clocking import TWODDWAVE
+from ..layout.coordinates import Tile, Topology
+from ..layout.gate_layout import GateLayout
+from ..networks.logic_network import GateType, LogicNetwork
+from ..networks.transforms import decompose_to_aoig, prepare_for_layout
+from .ortho import _candidate_tiles, _placement_order, _po_candidates, _try_place
+from .routing import RoutingOptions
+
+
+@dataclass
+class NanoPlaceRParams:
+    """Parameters of the stochastic placement search."""
+
+    seed: int = 0
+    #: Maximum number of placement rollouts.
+    max_rollouts: int = 20
+    #: Wall-clock budget for all rollouts together, in seconds.
+    timeout: float = 10.0
+    #: Networks larger than this are rejected (the RL tool does not
+    #: scale to them either); callers fall back to ortho.
+    max_gates: int = 220
+    routing: RoutingOptions = field(default_factory=RoutingOptions)
+
+
+@dataclass
+class NanoPlaceRResult:
+    """Best layout found plus rollout statistics."""
+
+    layout: GateLayout | None
+    runtime_seconds: float
+    rollouts: int
+    best_rollout: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.layout is not None
+
+
+class NanoPlaceRScaleError(ValueError):
+    """Raised when the network exceeds the tool's scaling envelope."""
+
+
+def nanoplacer_layout(
+    network: LogicNetwork, params: NanoPlaceRParams | None = None
+) -> NanoPlaceRResult:
+    """Stochastically search for a small 2DDWave layout of ``network``."""
+    params = params or NanoPlaceRParams()
+    started = time.monotonic()
+    ntk = prepare_for_layout(decompose_to_aoig(network))
+    if ntk.num_gates() > params.max_gates:
+        raise NanoPlaceRScaleError(
+            f"{ntk.num_gates()} gates exceed NanoPlaceR's envelope of {params.max_gates}"
+        )
+
+    deadline = started + params.timeout
+    rng = random.Random(params.seed)
+    best: GateLayout | None = None
+    best_area = None
+    best_rollout = -1
+    rollouts = 0
+    for rollout in range(params.max_rollouts):
+        if time.monotonic() > deadline and rollouts > 0:
+            break
+        rollouts += 1
+        # The first rollout is greedy (temperature 0); later rollouts
+        # increasingly randomise the action choice.
+        temperature = 0.0 if rollout == 0 else min(1.0, 0.2 + 0.1 * rollout)
+        layout = _rollout(ntk, params, rng, temperature, deadline)
+        if layout is None:
+            continue
+        width, height = layout.bounding_box()
+        area = width * height
+        if best_area is None or area < best_area:
+            best, best_area, best_rollout = layout, area, rollout
+    if best is not None:
+        best.shrink_to_fit()
+    return NanoPlaceRResult(best, time.monotonic() - started, rollouts, best_rollout)
+
+
+def _rollout(
+    ntk: LogicNetwork,
+    params: NanoPlaceRParams,
+    rng: random.Random,
+    temperature: float,
+    deadline: float,
+) -> GateLayout | None:
+    """One sequential placement episode; ``None`` when it dead-ends."""
+    order = _placement_order(ntk)
+    num_nodes = len(order) + ntk.num_pos()
+    side = max(4, num_nodes + ntk.num_pis() + 4)
+    layout = GateLayout(side, side, TWODDWAVE, Topology.CARTESIAN, ntk.name)
+
+    position: dict[int, Tile] = {}
+    pending: dict[Tile, int] = {}
+    next_row = 0
+    next_col = 1
+
+    for pi in ntk.pis():
+        tile = layout.create_pi(Tile(0, next_row), ntk.node(pi).name)
+        position[pi] = tile
+        pending[tile] = ntk.fanout_size(pi)
+        next_row += 1
+
+    for uid in order:
+        node = ntk.node(uid)
+        if node.gate_type is GateType.PI:
+            continue
+        if time.monotonic() > deadline:
+            return None
+        fanins = [position[f] for f in node.fanins]
+        candidates = list(_candidate_tiles(fanins, next_col, next_row, layout))
+        candidates = _sample_order(candidates, rng, temperature)
+        chosen = None
+        for candidate in candidates:
+            if _try_place(
+                layout, candidate, node.gate_type, fanins, node.name,
+                ntk.fanout_size(uid), pending, params.routing,
+            ):
+                chosen = candidate
+                break
+        if chosen is None:
+            return None
+        position[uid] = chosen
+        for f in node.fanins:
+            tile = position[f]
+            pending[tile] -= 1
+            if pending[tile] <= 0:
+                del pending[tile]
+        if ntk.fanout_size(uid):
+            pending[chosen] = ntk.fanout_size(uid)
+        next_col = max(next_col, chosen.x + 1)
+        next_row = max(next_row, chosen.y + 1)
+
+    for index, (signal, name) in enumerate(ntk.pos()):
+        driver = position[signal]
+        candidates = list(_po_candidates(driver, next_col, next_row, layout))
+        candidates = _sample_order(candidates, rng, temperature)
+        chosen = None
+        for candidate in candidates:
+            if _try_place(
+                layout, candidate, GateType.PO, [driver], name or f"po{index}",
+                0, pending, params.routing,
+            ):
+                chosen = candidate
+                break
+        if chosen is None:
+            return None
+        pending[driver] -= 1
+        if pending[driver] <= 0:
+            del pending[driver]
+        next_col = max(next_col, chosen.x + 1)
+        next_row = max(next_row, chosen.y + 1)
+
+    layout.shrink_to_fit()
+    return layout
+
+
+def _sample_order(candidates: list, rng: random.Random, temperature: float) -> list:
+    """Reorder action candidates; higher temperature = more exploration."""
+    if temperature <= 0.0 or len(candidates) < 2:
+        return candidates
+    reordered = list(candidates)
+    for i in range(len(reordered) - 1):
+        if rng.random() < temperature:
+            j = rng.randrange(i, len(reordered))
+            reordered[i], reordered[j] = reordered[j], reordered[i]
+    return reordered

@@ -1,0 +1,178 @@
+"""Clocking-aware A* wire routing.
+
+All physical design algorithms in this reproduction share one router: an
+A* search over the clocked tile grid that connects a placed driver tile
+to a placed target tile with wire segments, using the crossing layer
+(``z = 1``) to hop over existing wires where necessary.
+
+The router honours the layout's clocking scheme — a step from tile *u*
+to tile *v* is admissible only when ``zone(v) == zone(u) + 1 (mod 4)`` —
+so on 2DDWave the search space automatically degenerates to monotone
+east/south staircases, while feedback-capable schemes (USE, RES, ESR)
+expose their full loop structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from ..networks.logic_network import GateType
+from ..layout.coordinates import Tile, grid_distance, neighbors
+from ..layout.gate_layout import GateLayout
+
+
+@dataclass(frozen=True)
+class RoutingOptions:
+    """Knobs shared by all routing calls."""
+
+    allow_crossings: bool = True
+    #: Additional cost per crossing (discourages the z = 1 layer).
+    crossing_penalty: int = 2
+    #: Hard bound on the wire length (tiles between driver and target).
+    max_length: int | None = None
+    #: Hard bound on A* node expansions, to keep exact search bounded.
+    max_expansions: int = 20000
+    #: Positions the path must not use (escape corridors of signals that
+    #: still have readers waiting; see the ortho sealing checks).
+    avoid: frozenset = frozenset()
+
+
+def find_path(
+    layout: GateLayout,
+    source: Tile,
+    target: Tile,
+    options: RoutingOptions = RoutingOptions(),
+) -> list[Tile] | None:
+    """Find a wire path from ``source``'s element to ``target``'s tile.
+
+    ``source`` must be occupied (the driver); ``target`` may be occupied
+    (routing into an already-placed gate) or free (the caller will place
+    a gate there afterwards).  The returned list starts with ``source``
+    and ends with ``target``; intermediate entries are free positions
+    (possibly on the crossing layer) where wires can be placed.
+
+    Returns ``None`` when no admissible path exists within the options'
+    limits.
+    """
+    source, target = Tile(*source), Tile(*target)
+    if not layout.is_occupied(source):
+        raise ValueError(f"routing source {source} is empty")
+    if source.ground == target.ground:
+        return None
+
+    counter = itertools.count()
+    start_cost = 0
+    open_heap: list[tuple[int, int, int, Tile]] = []
+    heapq.heappush(
+        open_heap,
+        (_heuristic(layout, source, target), next(counter), start_cost, source),
+    )
+    best_cost: dict[Tile, int] = {source: 0}
+    parents: dict[Tile, Tile] = {}
+    expansions = 0
+
+    while open_heap:
+        _, _, cost, current = heapq.heappop(open_heap)
+        if cost > best_cost.get(current, cost):
+            continue
+        if current.ground == target.ground and current != source:
+            return _reconstruct(parents, source, current, target)
+        expansions += 1
+        if expansions > options.max_expansions:
+            return None
+        for step in _admissible_steps(layout, current, target, options):
+            step_cost = cost + 1 + (options.crossing_penalty if step.z == 1 else 0)
+            if options.max_length is not None and step_cost > options.max_length + 1:
+                continue
+            if step_cost < best_cost.get(step, 1 << 60):
+                best_cost[step] = step_cost
+                parents[step] = current
+                heapq.heappush(
+                    open_heap,
+                    (step_cost + _heuristic(layout, step, target), next(counter), step_cost, step),
+                )
+    return None
+
+
+def _heuristic(layout: GateLayout, a: Tile, b: Tile) -> int:
+    return grid_distance(layout.topology, a.ground, b.ground)
+
+
+def _admissible_steps(
+    layout: GateLayout, current: Tile, target: Tile, options: RoutingOptions
+) -> list[Tile]:
+    """Positions a wire may extend to from ``current``."""
+    steps: list[Tile] = []
+    for n in neighbors(layout.topology, current.ground, layout.width, layout.height):
+        if not layout.is_incoming_clocked(n, current):
+            continue
+        if n == target.ground:
+            steps.append(n)
+            continue
+        ground_gate = layout.get(n)
+        if ground_gate is None:
+            if n not in options.avoid:
+                steps.append(n)
+        elif (
+            options.allow_crossings
+            and ground_gate.gate_type is GateType.BUF
+            and not layout.is_occupied(n.above)
+            and n.above not in options.avoid
+        ):
+            steps.append(n.above)
+    return steps
+
+
+def _reconstruct(parents: dict, source: Tile, last: Tile, target: Tile) -> list[Tile]:
+    path = [last if last.ground != target.ground else target]
+    node = last
+    while node != source:
+        node = parents[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def route(
+    layout: GateLayout,
+    source: Tile,
+    target: Tile,
+    options: RoutingOptions = RoutingOptions(),
+) -> Tile | None:
+    """Route ``source`` → ``target`` and materialise the wire segments.
+
+    Returns the tile the target's gate should list as fanin (the last
+    wire segment, or ``source`` itself for adjacent connections); ``None``
+    if no path exists.  The target tile itself is *not* modified: when it
+    is already occupied the caller typically follows up with
+    ``layout.replace_fanin``; when it is free the caller places the gate.
+    """
+    path = find_path(layout, source, target, options)
+    if path is None:
+        return None
+    previous = path[0]
+    for position in path[1:-1]:
+        layout.create_wire(position, previous)
+        previous = position
+    return previous
+
+
+def unroute(layout: GateLayout, fanin_end: Tile, source: Tile) -> None:
+    """Remove the chain of wires ending at ``fanin_end`` back to ``source``.
+
+    Used for backtracking: deletes wire segments (which must form a
+    single-reader chain) until reaching ``source`` or a tile with other
+    readers.
+    """
+    current = fanin_end
+    while current != source:
+        gate = layout.get(current)
+        if gate is None or gate.gate_type is not GateType.BUF:
+            break
+        if layout.fanout_degree(current) > 0:
+            break
+        predecessor = gate.fanins[0]
+        layout.remove(current)
+        current = predecessor

@@ -1,0 +1,85 @@
+"""Tests for the benchmark registry and suite definitions."""
+
+import pytest
+
+from repro.benchsuite import all_benchmarks, benchmarks_of, get_benchmark, suites
+from repro.networks import check_equivalence
+
+
+class TestRegistry:
+    def test_four_suites(self):
+        assert set(suites()) == {"trindade16", "fontes18", "iscas85", "epfl"}
+
+    def test_forty_benchmarks(self):
+        assert len(all_benchmarks()) == 40
+
+    def test_suite_sizes_match_paper(self):
+        assert len(benchmarks_of("trindade16")) == 7
+        assert len(benchmarks_of("fontes18")) == 11
+        assert len(benchmarks_of("iscas85")) == 11
+        assert len(benchmarks_of("epfl")) == 11
+
+    def test_lookup(self):
+        spec = get_benchmark("trindade16", "mux21")
+        assert spec.full_name == "trindade16/mux21"
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            get_benchmark("trindade16", "warp_core")
+
+    def test_interfaces_validated_on_build(self):
+        for spec in all_benchmarks():
+            net = spec.build(node_cap=120)
+            assert net.num_pis() == spec.num_inputs
+            assert net.num_pos() == spec.num_outputs
+
+    def test_exact_functions_marked(self):
+        trindade = benchmarks_of("trindade16")
+        assert all(s.is_exact_function for s in trindade)
+        epfl = benchmarks_of("epfl")
+        assert not any(s.is_exact_function for s in epfl)
+
+
+class TestKnownFunctions:
+    def test_c17_truth_tables(self):
+        net = get_benchmark("iscas85", "c17").build()
+        tables = net.simulate()
+        # Reference values computed from the published NAND netlist.
+        assert [t.to_hex() for t in tables] == ["acecacec", "0fff0ccc"]
+
+    def test_majority5(self):
+        net = get_benchmark("fontes18", "majority").build()
+        tt = net.simulate()[0]
+        for row in range(32):
+            assert tt.get(row) == (bin(row).count("1") >= 3)
+
+    def test_adder_variants_equivalent(self):
+        aoig = get_benchmark("fontes18", "1bitadderaoig").build()
+        maj = get_benchmark("fontes18", "1bitaddermaj").build()
+        assert check_equivalence(aoig, maj).equivalent
+
+    def test_parity16(self):
+        net = get_benchmark("fontes18", "parity").build()
+        assert net.num_pis() == 16
+        # Spot-check a handful of vectors.
+        assert net.evaluate([True] + [False] * 15) == [True]
+        assert net.evaluate([True, True] + [False] * 14) == [False]
+        assert net.evaluate([False] * 16) == [False]
+
+
+class TestSyntheticScaling:
+    def test_node_cap_scales(self):
+        spec = get_benchmark("epfl", "sin")
+        small = spec.build(node_cap=100)
+        assert small.num_gates() == 100
+
+    def test_full_size_without_cap(self):
+        spec = get_benchmark("fontes18", "t")
+        net = spec.build()
+        assert net.num_gates() == spec.reported_nodes
+
+    def test_synthetic_determinism(self):
+        spec = get_benchmark("iscas85", "c432")
+        a = spec.build(node_cap=150)
+        b = spec.build(node_cap=150)
+        assert check_equivalence(a, b).equivalent

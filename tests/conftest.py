@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.layout import TWODDWAVE, GateLayout, Tile
+from repro.networks import GateType, LogicNetwork
+from repro.networks.library import full_adder, mux21, xor2
+
+
+@pytest.fixture
+def mux_network() -> LogicNetwork:
+    return mux21()
+
+
+@pytest.fixture
+def xor_network() -> LogicNetwork:
+    return xor2()
+
+
+@pytest.fixture
+def adder_network() -> LogicNetwork:
+    return full_adder()
+
+
+@pytest.fixture
+def and_layout() -> tuple[GateLayout, LogicNetwork]:
+    """A hand-built, DRC-clean 2DDWave AND layout plus its specification."""
+    layout = GateLayout(3, 2, TWODDWAVE, name="and2")
+    a = layout.create_pi(Tile(1, 0), "a")
+    b = layout.create_pi(Tile(0, 1), "b")
+    g = layout.create_gate(GateType.AND, Tile(1, 1), [a, b])
+    layout.create_po(Tile(2, 1), g, "f")
+
+    spec = LogicNetwork("and2")
+    x = spec.create_pi("a")
+    y = spec.create_pi("b")
+    spec.create_po(spec.create_and(x, y), "f")
+    return layout, spec
+
+
+def assert_layout_good(layout: GateLayout, network: LogicNetwork) -> None:
+    """Assert DRC cleanliness and functional equivalence in one place."""
+    from repro.layout import check_layout, layout_equivalent
+
+    report = check_layout(layout)
+    assert report.ok, report.summary()
+    equivalence = layout_equivalent(layout, network)
+    assert equivalence.equivalent, f"counterexample: {equivalence.counterexample}"

@@ -1,0 +1,101 @@
+"""Tests for the benchmark database (generation, index, query)."""
+
+import json
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import BenchmarkDatabase, GenerationParams, Selection
+from repro.core.selection import AbstractionLevel
+from repro.networks import check_equivalence, read_verilog
+
+FAST = GenerationParams(
+    exact_timeout=6.0,
+    exact_ratio_timeout=0.8,
+    nanoplacer_timeout=1.5,
+    inord_evaluations=3,
+    inord_timeout=8.0,
+    plo_timeout=6.0,
+    node_cap=60,
+)
+
+
+@pytest.fixture(scope="module")
+def populated_db(tmp_path_factory):
+    root = tmp_path_factory.mktemp("db")
+    db = BenchmarkDatabase(root)
+    db.generate([get_benchmark("trindade16", "mux21")], params=FAST)
+    return db
+
+
+class TestGeneration:
+    def test_network_artifact_written(self, populated_db):
+        networks = [
+            r for r in populated_db.files()
+            if r.abstraction_level is AbstractionLevel.NETWORK
+        ]
+        assert len(networks) == 1
+        loaded = read_verilog(populated_db.root / networks[0].path)
+        spec = get_benchmark("trindade16", "mux21").build()
+        assert check_equivalence(spec, loaded).equivalent
+
+    def test_gate_level_artifacts_written(self, populated_db):
+        layouts = [
+            r for r in populated_db.files()
+            if r.abstraction_level is AbstractionLevel.GATE_LEVEL
+        ]
+        assert len(layouts) >= 4
+        for record in layouts:
+            assert (populated_db.root / record.path).exists()
+            assert record.area == record.width * record.height
+
+    def test_both_libraries_covered(self, populated_db):
+        libraries = {r.gate_library for r in populated_db.files() if r.gate_library}
+        assert libraries == {"QCA ONE", "Bestagon"}
+
+    def test_layouts_functionally_correct(self, populated_db):
+        spec = get_benchmark("trindade16", "mux21").build()
+        for record in populated_db.files():
+            if record.abstraction_level is AbstractionLevel.GATE_LEVEL:
+                layout = populated_db.load_layout(record)
+                assert check_equivalence(spec, layout.extract_network()).equivalent
+
+    def test_index_persisted(self, populated_db):
+        index = json.loads((populated_db.root / "index.json").read_text())
+        assert len(index["files"]) == len(populated_db.files())
+
+    def test_reload_from_disk(self, populated_db):
+        reloaded = BenchmarkDatabase(populated_db.root)
+        assert len(reloaded.files()) == len(populated_db.files())
+
+
+class TestQuery:
+    def test_algorithm_filter(self, populated_db):
+        hits = populated_db.query(Selection.make(algorithms=["exact"]))
+        assert hits
+        assert all(r.algorithm == "exact" for r in hits)
+
+    def test_best_only_one_per_library(self, populated_db):
+        hits = populated_db.query(Selection.make(best_only=True))
+        keys = [(r.suite, r.name, r.gate_library) for r in hits]
+        assert len(keys) == len(set(keys))
+        assert len(hits) == 2  # one per gate library
+
+    def test_best_is_minimal(self, populated_db):
+        best = populated_db.query(
+            Selection.make(best_only=True, gate_libraries=["qca one"])
+        )[0]
+        all_qca = populated_db.query(Selection.make(gate_libraries=["qca one"]))
+        assert best.area == min(r.area for r in all_qca)
+
+
+class TestFileNames:
+    def test_naming_convention(self):
+        name = BenchmarkDatabase.file_name(
+            "mux21", "QCA ONE", "2DDWave", "ortho", ("InOrd (SDN)", "PLO")
+        )
+        assert name == "mux21_ONE_2DDWave_ortho_inord_plo.fgl"
+
+    def test_bestagon_45(self):
+        name = BenchmarkDatabase.file_name("c432", "Bestagon", "ROW", "ortho", ("45°",))
+        assert name == "c432_Bestagon_ROW_ortho_45deg.fgl"

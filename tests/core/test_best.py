@@ -1,0 +1,94 @@
+"""Tests for the best-layout portfolio."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import BESTAGON, QCA_ONE, BestParams, best_layout
+from repro.layout import Topology, check_layout, layout_equivalent
+
+FAST = BestParams(
+    exact_timeout=3.0,
+    exact_ratio_timeout=0.5,
+    nanoplacer_timeout=2.0,
+    inord_evaluations=4,
+    inord_timeout=10.0,
+    plo_timeout=8.0,
+)
+
+
+@pytest.fixture(scope="module")
+def mux_result_qca():
+    net = get_benchmark("trindade16", "mux21").build()
+    return net, best_layout(net, QCA_ONE, FAST)
+
+
+@pytest.fixture(scope="module")
+def mux_result_bestagon():
+    net = get_benchmark("trindade16", "mux21").build()
+    return net, best_layout(net, BESTAGON, FAST)
+
+
+class TestQcaOne:
+    def test_winner_exists(self, mux_result_qca):
+        _, result = mux_result_qca
+        assert result.succeeded
+
+    def test_winner_verified(self, mux_result_qca):
+        net, result = mux_result_qca
+        assert check_layout(result.winner.layout).ok
+        assert layout_equivalent(result.winner.layout, net).equivalent
+
+    def test_winner_is_minimum_over_candidates(self, mux_result_qca):
+        _, result = mux_result_qca
+        areas = [c.metrics.area for c in result.candidates]
+        assert result.winner.metrics.area == min(areas)
+
+    def test_exact_wins_small_function(self, mux_result_qca):
+        # Table I: exact produces the area-best mux21 layout (12 tiles).
+        _, result = mux_result_qca
+        assert result.winner.metrics.area <= 15
+        assert result.winner.algorithm in ("exact", "NPR", "ortho")
+
+    def test_candidates_are_cartesian(self, mux_result_qca):
+        _, result = mux_result_qca
+        for candidate in result.candidates:
+            assert candidate.layout.topology is Topology.CARTESIAN
+
+
+class TestBestagon:
+    def test_winner_is_hexagonal_row(self, mux_result_bestagon):
+        _, result = mux_result_bestagon
+        assert result.succeeded
+        assert result.winner.layout.topology is Topology.HEXAGONAL_EVEN_ROW
+        assert result.winner.scheme == "ROW"
+
+    def test_winner_verified(self, mux_result_bestagon):
+        net, result = mux_result_bestagon
+        assert check_layout(result.winner.layout).ok
+        assert layout_equivalent(result.winner.layout, net).equivalent
+
+    def test_heuristic_flows_carry_45(self, mux_result_bestagon):
+        _, result = mux_result_bestagon
+        for candidate in result.candidates:
+            if candidate.algorithm != "exact" or "45°" in candidate.optimizations:
+                assert "45°" in candidate.optimizations or candidate.algorithm == "exact"
+
+
+class TestAlgorithmLabels:
+    def test_label_format(self, mux_result_qca):
+        _, result = mux_result_qca
+        for candidate in result.candidates:
+            label = candidate.algorithm_label
+            assert label.startswith(candidate.algorithm)
+            for opt in candidate.optimizations:
+                assert opt in label
+
+
+class TestScalableOnly:
+    def test_medium_function_skips_exact(self):
+        net = get_benchmark("fontes18", "parity").build()
+        result = best_layout(net, QCA_ONE, FAST)
+        assert result.succeeded
+        algorithms = {c.algorithm for c in result.candidates}
+        assert "exact" not in algorithms
+        assert "ortho" in algorithms

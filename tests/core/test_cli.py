@@ -1,0 +1,81 @@
+"""Tests for the mnt-bench command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "trindade16/mux21" in out
+    assert "epfl/sin" in out
+    assert "[synthetic]" in out and "[function " in out
+
+
+def test_generate_and_query(tmp_path, capsys):
+    db = str(tmp_path / "db")
+    code = main(
+        [
+            "generate",
+            "--database", db,
+            "--benchmark", "trindade16/xor2",
+            "--library", "QCA ONE",
+            "--exact-timeout", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "xor2.v" in out
+    assert ".fgl" in out
+
+    assert main(["query", "--database", db, "--algorithm", "ortho"]) == 0
+    out = capsys.readouterr().out
+    assert "ortho" in out
+
+    assert main(["query", "--database", db, "--best", "--facets"]) == 0
+    out = capsys.readouterr().out
+    assert "gate_library" in out
+
+
+def test_best_command(capsys):
+    code = main(["best", "trindade16/xor2", "--exact-timeout", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "xor2" in out
+    assert "paper" in out
+
+
+def test_show_command(tmp_path, capsys):
+    from repro.io import write_fgl
+    from repro.networks.library import mux21
+    from repro.physical_design import orthogonal_layout
+
+    path = tmp_path / "mux.fgl"
+    write_fgl(orthogonal_layout(mux21()).layout, path)
+    assert main(["show", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "tiles" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_svg_command(tmp_path, capsys):
+    from repro.io import write_fgl
+    from repro.networks.library import mux21
+    from repro.physical_design import orthogonal_layout
+
+    path = tmp_path / "mux.fgl"
+    write_fgl(orthogonal_layout(mux21()).layout, path)
+    assert main(["svg", str(path)]) == 0
+    assert (tmp_path / "mux.svg").read_text().startswith("<svg")
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "trindade16/full_adder"]) == 0
+    out = capsys.readouterr().out
+    assert "I/O = 3/2" in out
+    assert "reconvergent" in out

@@ -1,0 +1,101 @@
+"""Tests for the improved-layout contribution workflow."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import BenchmarkDatabase, GenerationParams, Selection
+from repro.core.contribute import submit_fgl_file, submit_layout
+from repro.io import write_fgl
+from repro.layout import GateLayout, TWODDWAVE, Tile
+from repro.networks import GateType
+from repro.physical_design import ExactParams, exact_layout, orthogonal_layout
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    root = tmp_path_factory.mktemp("contrib_db")
+    database = BenchmarkDatabase(root)
+    spec = get_benchmark("trindade16", "xor2")
+    database.generate(
+        [spec],
+        libraries=("QCA ONE",),
+        params=GenerationParams(
+            exact_timeout=0.1, exact_ratio_timeout=0.1,
+            nanoplacer_timeout=1.0, inord_evaluations=2,
+            inord_timeout=5.0, plo_timeout=4.0,
+        ),
+    )
+    return database
+
+
+@pytest.fixture(scope="module")
+def exact_xor_layout():
+    spec = get_benchmark("trindade16", "xor2")
+    result = exact_layout(spec.build(), ExactParams(timeout=15))
+    assert result.succeeded
+    return result.layout
+
+
+class TestAcceptance:
+    def test_valid_layout_accepted(self, db, exact_xor_layout):
+        spec = get_benchmark("trindade16", "xor2")
+        result = submit_layout(db, spec, exact_xor_layout.clone(), algorithm="mytool")
+        assert result.accepted, result.reasons
+        assert result.record.algorithm == "mytool"
+        assert (db.root / result.record.path).exists()
+
+    def test_champion_updates(self, db, exact_xor_layout):
+        spec = get_benchmark("trindade16", "xor2")
+        submit_layout(db, spec, exact_xor_layout.clone(), algorithm="mytool2")
+        best = db.query(
+            Selection.make(best_only=True, names=["xor2"], gate_libraries=["qca one"])
+        )[0]
+        assert best.area <= exact_xor_layout.area()
+
+    def test_fgl_file_submission(self, db, exact_xor_layout, tmp_path):
+        spec = get_benchmark("trindade16", "xor2")
+        path = tmp_path / "improved.fgl"
+        write_fgl(exact_xor_layout, path)
+        result = submit_fgl_file(db, spec, path, algorithm="filetool")
+        assert result.accepted
+
+
+class TestRejection:
+    def test_wrong_function_rejected(self, db):
+        # An AND layout submitted as xor2 must be rejected.
+        lay = GateLayout(3, 2, TWODDWAVE, name="xor2")
+        a = lay.create_pi(Tile(1, 0), "a")
+        b = lay.create_pi(Tile(0, 1), "b")
+        g = lay.create_gate(GateType.AND, Tile(1, 1), [a, b])
+        lay.create_po(Tile(2, 1), g, "f")
+        spec = get_benchmark("trindade16", "xor2")
+        result = submit_layout(db, spec, lay)
+        assert not result.accepted
+        assert any("not equivalent" in r for r in result.reasons)
+
+    def test_broken_layout_rejected(self, db, exact_xor_layout):
+        lay = exact_xor_layout.clone()
+        po = lay.pos()[0]
+        lay.remove(po)
+        spec = get_benchmark("trindade16", "xor2")
+        result = submit_layout(db, spec, lay)
+        assert not result.accepted
+        assert any("DRC" in r for r in result.reasons)
+
+    def test_interior_io_rejected(self, db):
+        spec = get_benchmark("trindade16", "xor2")
+        interior = orthogonal_layout(spec.build()).layout
+        # Grow the canvas so the I/O pads are strictly interior.
+        interior.resize(interior.width + 2, interior.height + 2)
+        result = submit_layout(db, spec, interior)
+        if not result.accepted:
+            assert any("border" in r or "DRC" in r for r in result.reasons)
+
+    def test_empty_layout_rejected(self, db):
+        lay = GateLayout(2, 2, TWODDWAVE)
+        a = lay.create_pi(Tile(0, 0))
+        lay.create_po(Tile(1, 0), a)
+        spec = get_benchmark("trindade16", "xor2")
+        result = submit_layout(db, spec, lay)
+        assert not result.accepted
+        assert any("no logic gates" in r for r in result.reasons)

@@ -1,0 +1,92 @@
+"""Tests for the Figure 1 selection/filter model."""
+
+from repro.core.bench import BenchmarkFile
+from repro.core.selection import AbstractionLevel, Selection, facet_counts
+
+
+def gate_file(**overrides):
+    defaults = dict(
+        suite="trindade16",
+        name="mux21",
+        abstraction_level=AbstractionLevel.GATE_LEVEL,
+        path="trindade16/mux21_ONE_2DDWave_exact.fgl",
+        gate_library="QCA ONE",
+        clocking_scheme="2DDWave",
+        algorithm="exact",
+        optimizations=(),
+        area=12,
+    )
+    defaults.update(overrides)
+    return BenchmarkFile(**defaults)
+
+
+def network_file():
+    return BenchmarkFile(
+        suite="trindade16",
+        name="mux21",
+        abstraction_level=AbstractionLevel.NETWORK,
+        path="trindade16/mux21.v",
+    )
+
+
+class TestMatching:
+    def test_empty_selection_matches_all(self):
+        assert Selection.make().matches(gate_file())
+        assert Selection.make().matches(network_file())
+
+    def test_library_filter(self):
+        sel = Selection.make(gate_libraries="bestagon")
+        assert not sel.matches(gate_file())
+        assert sel.matches(gate_file(gate_library="Bestagon"))
+
+    def test_scheme_filter_case_insensitive(self):
+        sel = Selection.make(clocking_schemes=["2ddwave"])
+        assert sel.matches(gate_file())
+        assert not sel.matches(gate_file(clocking_scheme="USE"))
+
+    def test_algorithm_filter(self):
+        sel = Selection.make(algorithms=["ortho"])
+        assert not sel.matches(gate_file())
+        assert sel.matches(gate_file(algorithm="ortho"))
+
+    def test_optimization_requires_all(self):
+        sel = Selection.make(optimizations=["plo", "inord (sdn)"])
+        assert not sel.matches(gate_file(optimizations=("PLO",)))
+        assert sel.matches(gate_file(optimizations=("PLO", "InOrd (SDN)")))
+
+    def test_abstraction_filter(self):
+        sel = Selection.make(abstraction_levels="network")
+        assert sel.matches(network_file())
+        assert not sel.matches(gate_file())
+
+    def test_layout_facets_exclude_networks(self):
+        sel = Selection.make(algorithms=["exact"])
+        assert not sel.matches(network_file())
+
+    def test_networks_included_when_requested_explicitly(self):
+        sel = Selection.make(abstraction_levels=["network"], algorithms=["exact"])
+        assert sel.matches(network_file())
+
+    def test_suite_and_name_filters(self):
+        sel = Selection.make(suites=["iscas85"])
+        assert not sel.matches(gate_file())
+        sel = Selection.make(names=["mux21"])
+        assert sel.matches(gate_file())
+
+
+class TestFacetCounts:
+    def test_counts(self):
+        files = [
+            network_file(),
+            gate_file(),
+            gate_file(
+                path="x.fgl", gate_library="Bestagon", clocking_scheme="ROW",
+                algorithm="ortho", optimizations=("PLO", "45°"),
+            ),
+        ]
+        counts = facet_counts(files)
+        assert counts["abstraction_level"] == {"network": 1, "gate-level": 2}
+        assert counts["gate_library"] == {"QCA ONE": 1, "Bestagon": 1}
+        assert counts["algorithm"] == {"exact": 1, "ortho": 1}
+        assert counts["optimization"] == {"PLO": 1, "45°": 1}
+        assert counts["suite"] == {"trindade16": 3}

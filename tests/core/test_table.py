@@ -1,0 +1,96 @@
+"""Tests for Table I row generation and paper reference data."""
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import (
+    BESTAGON,
+    BESTAGON_TABLE,
+    QCA_ONE,
+    QCA_ONE_TABLE,
+    BestParams,
+    baseline_area,
+    format_table,
+    paper_entry,
+    table_row,
+)
+
+FAST = BestParams(
+    exact_timeout=3.0,
+    exact_ratio_timeout=0.5,
+    nanoplacer_timeout=2.0,
+    inord_evaluations=3,
+    inord_timeout=8.0,
+    plo_timeout=6.0,
+)
+
+
+class TestPaperData:
+    def test_tables_cover_all_benchmarks(self):
+        assert len(QCA_ONE_TABLE) == 40
+        assert len(BESTAGON_TABLE) == 40
+
+    def test_lookup(self):
+        entry = paper_entry("trindade16", "mux21", QCA_ONE)
+        assert entry is not None
+        assert entry.area == 12
+        assert entry.algorithm == "exact"
+
+    def test_bestagon_lookup(self):
+        entry = paper_entry("trindade16", "mux21", BESTAGON)
+        assert entry.scheme == "ROW"
+
+    def test_missing_entry(self):
+        assert paper_entry("trindade16", "ghost", QCA_ONE) is None
+
+    def test_dimensions_consistent_where_given(self):
+        for entry in QCA_ONE_TABLE + BESTAGON_TABLE:
+            if entry.width is not None and entry.height is not None:
+                assert entry.width * entry.height == entry.area, entry
+
+    def test_bestagon_always_row(self):
+        assert all(e.scheme == "ROW" for e in BESTAGON_TABLE)
+
+    def test_exact_only_on_small_functions(self):
+        for entry in QCA_ONE_TABLE:
+            if entry.suite in ("iscas85", "epfl") and entry.name != "c17":
+                assert "ortho" in entry.algorithm or "NPR" in entry.algorithm
+
+
+class TestRowGeneration:
+    def test_row_for_mux21(self):
+        spec = get_benchmark("trindade16", "mux21")
+        row, result = table_row(spec, QCA_ONE, FAST)
+        assert result.succeeded
+        assert row.area == row.width * row.height
+        assert row.paper is not None
+        assert row.num_inputs == 3 and row.num_outputs == 1
+
+    def test_delta_area_negative_or_zero(self):
+        # The portfolio winner can never be worse than the baseline,
+        # because the baseline flow is itself part of the portfolio
+        # (up to PLO, which only shrinks).
+        spec = get_benchmark("trindade16", "xor2")
+        row, _ = table_row(spec, QCA_ONE, FAST)
+        assert row.delta_area_percent is not None
+        assert row.delta_area_percent <= 0
+
+    def test_formatting(self):
+        spec = get_benchmark("trindade16", "mux21")
+        row, _ = table_row(spec, QCA_ONE, FAST)
+        text = row.format()
+        assert "mux21" in text
+        assert "3/1" in text
+        assert "paper" in text
+        table = format_table([row], QCA_ONE)
+        assert "QCA ONE" in table
+        assert "trindade16" in table
+
+
+class TestBaseline:
+    def test_baseline_areas(self):
+        net = get_benchmark("trindade16", "mux21").build()
+        qca = baseline_area(net, QCA_ONE)
+        hexa = baseline_area(net, BESTAGON)
+        assert qca and qca > 0
+        assert hexa and hexa > 0

@@ -1,0 +1,73 @@
+"""Tests for the Bestagon gate library application."""
+
+import pytest
+
+from repro.gatelibs import BestagonError, apply_bestagon, apply_gate_library
+from repro.gatelibs.bestagon import TILE_HEIGHT, TILE_WIDTH, hex_port
+from repro.layout import Tile
+from repro.networks.library import full_adder, mux21, ripple_carry_adder
+from repro.optimization import to_hexagonal
+from repro.physical_design import orthogonal_layout
+
+
+def hex_layout(factory=mux21):
+    return to_hexagonal(orthogonal_layout(factory()).layout).layout
+
+
+class TestHexPort:
+    def test_north_ports_even_row(self):
+        t = Tile(3, 2)  # even row
+        assert hex_port(t, Tile(3, 1)) == "NW"
+        assert hex_port(t, Tile(4, 1)) == "NE"
+        assert hex_port(t, Tile(3, 3)) == "SW"
+        assert hex_port(t, Tile(4, 3)) == "SE"
+
+    def test_north_ports_odd_row(self):
+        t = Tile(3, 3)
+        assert hex_port(t, Tile(2, 2)) == "NW"
+        assert hex_port(t, Tile(3, 2)) == "NE"
+
+    def test_lateral_ports_rejected(self):
+        with pytest.raises(BestagonError, match="lateral"):
+            hex_port(Tile(3, 2), Tile(4, 2))
+
+    def test_non_adjacent_rejected(self):
+        with pytest.raises(BestagonError, match="not hex-adjacent"):
+            hex_port(Tile(0, 0), Tile(5, 5))
+
+
+class TestApplication:
+    def test_produces_dots(self):
+        sidb = apply_bestagon(hex_layout())
+        assert sidb.num_dots() > 0
+
+    def test_tile_extent(self):
+        layout = hex_layout()
+        sidb = apply_bestagon(layout)
+        width, height = sidb.bounding_box()
+        assert width <= (layout.width + 1) * TILE_WIDTH
+        assert height <= layout.height * TILE_HEIGHT
+
+    def test_io_labels(self):
+        sidb = apply_bestagon(hex_layout())
+        assert set(sidb.input_labels.values()) == {"a", "b", "s"}
+        assert set(sidb.output_labels.values()) == {"f"}
+
+    def test_larger_functions(self):
+        sidb = apply_bestagon(hex_layout(full_adder))
+        assert sidb.num_dots() > 100
+
+    def test_cartesian_rejected(self):
+        layout = orthogonal_layout(mux21()).layout
+        with pytest.raises(BestagonError, match="hexagonal"):
+            apply_bestagon(layout)
+
+    def test_dispatcher(self):
+        layout = hex_layout()
+        sidb = apply_gate_library(layout, "Bestagon")
+        assert sidb.num_dots() > 0
+
+    def test_dot_budget_scales_with_gates(self):
+        small = apply_bestagon(hex_layout(mux21))
+        large = apply_bestagon(hex_layout(lambda: ripple_carry_adder(2)))
+        assert large.num_dots() > small.num_dots()

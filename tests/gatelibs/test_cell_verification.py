@@ -1,0 +1,83 @@
+"""Tests for cell-level design-rule checking."""
+
+import pytest
+
+from repro.celllayout import (
+    QCACell,
+    QCACellLayout,
+    QCACellType,
+    SiDBLayout,
+    check_qca_cells,
+    check_sidb_dots,
+)
+from repro.gatelibs import apply_bestagon, apply_qca_one
+from repro.networks.library import full_adder, mux21, ripple_carry_adder
+from repro.optimization import to_hexagonal
+from repro.physical_design import orthogonal_layout
+
+
+class TestQcaChecks:
+    @pytest.mark.parametrize("factory", [mux21, full_adder, lambda: ripple_carry_adder(2)])
+    def test_generated_layouts_clean(self, factory):
+        cells = apply_qca_one(orthogonal_layout(factory()).layout)
+        report = check_qca_cells(cells)
+        assert report.ok, report.summary()
+
+    def test_empty_layout_flagged(self):
+        report = check_qca_cells(QCACellLayout())
+        assert not report.ok
+
+    def test_disconnected_cells_flagged(self):
+        layout = QCACellLayout()
+        layout.set_cell(0, 0, QCACell(QCACellType.INPUT, "a"))
+        layout.set_cell(1, 0, QCACell(QCACellType.OUTPUT, "f"))
+        layout.set_cell(10, 10, QCACell(QCACellType.NORMAL))  # stray island
+        report = check_qca_cells(layout)
+        assert any("disconnected" in v for v in report.violations)
+
+    def test_missing_output_pin_flagged(self):
+        layout = QCACellLayout()
+        layout.set_cell(0, 0, QCACell(QCACellType.INPUT, "a"))
+        layout.set_cell(1, 0, QCACell(QCACellType.NORMAL))
+        report = check_qca_cells(layout)
+        assert any("no output pins" in v for v in report.violations)
+
+    def test_floating_fixed_cell_flagged(self):
+        layout = QCACellLayout()
+        layout.set_cell(0, 0, QCACell(QCACellType.INPUT, "a"))
+        layout.set_cell(1, 0, QCACell(QCACellType.OUTPUT, "f"))
+        layout.set_cell(8, 0, QCACell(QCACellType.FIXED_0))
+        report = check_qca_cells(layout)
+        assert any("floating fixed cell" in v for v in report.violations)
+
+    def test_unlabelled_pin_warned(self):
+        layout = QCACellLayout()
+        layout.set_cell(0, 0, QCACell(QCACellType.INPUT))
+        layout.set_cell(1, 0, QCACell(QCACellType.OUTPUT, "f"))
+        report = check_qca_cells(layout)
+        assert any("no label" in w for w in report.warnings)
+
+
+class TestSidbChecks:
+    def test_generated_layouts_pass(self):
+        hexed = to_hexagonal(orthogonal_layout(mux21()).layout).layout
+        sidb = apply_bestagon(hexed)
+        report = check_sidb_dots(sidb)
+        assert report.ok, report.summary()
+
+    def test_empty_flagged(self):
+        assert not check_sidb_dots(SiDBLayout()).ok
+
+    def test_label_on_missing_dot_flagged(self):
+        layout = SiDBLayout()
+        layout.add_dot(0, 0, 0)
+        layout.input_labels[(5, 5, 0)] = "ghost"
+        report = check_sidb_dots(layout)
+        assert any("missing dot" in v for v in report.violations)
+
+    def test_near_dimer_warning(self):
+        layout = SiDBLayout()
+        layout.add_dot(0, 0, 1)
+        layout.add_dot(1, 0, 0)
+        report = check_sidb_dots(layout)
+        assert any("dimer" in w for w in report.warnings)

@@ -1,0 +1,104 @@
+"""Tests for the QCA ONE gate library application."""
+
+import pytest
+
+from repro.celllayout import QCACellType
+from repro.gatelibs import QCAOneError, apply_gate_library, apply_qca_one
+from repro.gatelibs.qca_one import TILE_SIZE, side_of
+from repro.layout import GateLayout, TWODDWAVE, Tile
+from repro.networks import GateType
+from repro.networks.library import full_adder, mux21
+from repro.optimization import to_hexagonal
+from repro.physical_design import orthogonal_layout
+
+
+class TestSideOf:
+    def test_all_sides(self):
+        t = Tile(2, 2)
+        assert side_of(t, Tile(2, 1)) == "N"
+        assert side_of(t, Tile(3, 2)) == "E"
+        assert side_of(t, Tile(2, 3)) == "S"
+        assert side_of(t, Tile(1, 2)) == "W"
+
+    def test_non_adjacent_rejected(self):
+        with pytest.raises(QCAOneError):
+            side_of(Tile(0, 0), Tile(2, 0))
+
+
+class TestApplication:
+    def test_and_layout(self, and_layout):
+        layout, _ = and_layout
+        cells = apply_qca_one(layout)
+        assert cells.num_cells() > 0
+        # One 5×5 block per occupied tile column/row extent.
+        width, height = cells.bounding_box()
+        assert width <= layout.width * TILE_SIZE
+        assert height <= layout.height * TILE_SIZE
+
+    def test_io_pins_labelled(self, and_layout):
+        layout, _ = and_layout
+        cells = apply_qca_one(layout)
+        assert len(cells.inputs()) == 2
+        assert len(cells.outputs()) == 1
+        labels = {cells.cells[p].label for p in cells.inputs()}
+        assert labels == {"a", "b"}
+
+    def test_and_gets_fixed_zero_cell(self, and_layout):
+        layout, _ = and_layout
+        cells = apply_qca_one(layout)
+        fixed = [c for c in cells.cells.values() if c.cell_type is QCACellType.FIXED_0]
+        assert len(fixed) == 1
+
+    def test_or_gets_fixed_one_cell(self):
+        lay = GateLayout(3, 2, TWODDWAVE)
+        a = lay.create_pi(Tile(1, 0), "a")
+        b = lay.create_pi(Tile(0, 1), "b")
+        g = lay.create_gate(GateType.OR, Tile(1, 1), [a, b])
+        lay.create_po(Tile(2, 1), g, "f")
+        cells = apply_qca_one(lay)
+        fixed = [c for c in cells.cells.values() if c.cell_type is QCACellType.FIXED_1]
+        assert len(fixed) == 1
+
+    def test_crossings_use_upper_layers(self):
+        net = full_adder()
+        layout = orthogonal_layout(net).layout
+        assert layout.num_crossings() > 0
+        cells = apply_qca_one(layout)
+        assert cells.num_crossing_cells() > 0
+
+    def test_generated_layout_compiles(self):
+        layout = orthogonal_layout(mux21()).layout
+        cells = apply_qca_one(layout)
+        assert cells.num_cells() >= len(layout) * 3  # every tile has cells
+
+    def test_hexagonal_rejected(self):
+        layout = to_hexagonal(orthogonal_layout(mux21()).layout).layout
+        with pytest.raises(QCAOneError, match="Cartesian"):
+            apply_qca_one(layout)
+
+    def test_unsupported_gate_rejected(self):
+        lay = GateLayout(3, 2, TWODDWAVE)
+        a = lay.create_pi(Tile(1, 0), "a")
+        b = lay.create_pi(Tile(0, 1), "b")
+        g = lay.create_gate(GateType.XOR, Tile(1, 1), [a, b])
+        lay.create_po(Tile(2, 1), g)
+        with pytest.raises(QCAOneError, match="decompose"):
+            apply_qca_one(lay)
+
+
+class TestDispatcher:
+    def test_library_names(self, and_layout):
+        layout, _ = and_layout
+        assert apply_gate_library(layout, "QCA ONE").num_cells() > 0
+        assert apply_gate_library(layout, "qca_one").num_cells() > 0
+        assert apply_gate_library(layout, "ONE").num_cells() > 0
+
+    def test_unknown_library(self, and_layout):
+        layout, _ = and_layout
+        with pytest.raises(ValueError, match="unknown gate library"):
+            apply_gate_library(layout, "ToNeXT")
+
+    def test_render(self, and_layout):
+        layout, _ = and_layout
+        art = apply_qca_one(layout).render()
+        assert "i" in art and "o" in art and "0" in art

@@ -1,0 +1,103 @@
+"""Tests for the exhaustive SiDB charge ground-state simulation."""
+
+import math
+
+import pytest
+
+from repro.celllayout import (
+    SiDBLayout,
+    SiDBSimulationError,
+    bdl_pair,
+    is_bdl_encoding,
+    simulate_ground_state,
+)
+from repro.celllayout.sidb_simulation import (
+    COULOMB_K,
+    MU_MINUS,
+    lattice_to_nm,
+    screened_coulomb,
+)
+
+
+class TestPhysics:
+    def test_lattice_positions(self):
+        assert lattice_to_nm((0, 0, 0)) == (0.0, 0.0)
+        x, y = lattice_to_nm((2, 3, 1))
+        assert x == pytest.approx(2 * 0.384)
+        assert y == pytest.approx(3 * 0.768 + 0.225)
+
+    def test_coulomb_monotone_decreasing(self):
+        assert screened_coulomb(0.5) > screened_coulomb(1.0) > screened_coulomb(5.0)
+
+    def test_coulomb_limits(self):
+        # At short range the screening is negligible: V ≈ k/r.
+        assert screened_coulomb(0.01) == pytest.approx(COULOMB_K / 0.01, rel=0.01)
+        with pytest.raises(ValueError):
+            screened_coulomb(0.0)
+
+
+class TestGroundState:
+    def test_single_dot_charges(self):
+        layout = SiDBLayout()
+        layout.add_dot(0, 0, 0)
+        result = simulate_ground_state(layout)
+        assert result.ground_state.charges == (1,)
+        assert result.ground_state.energy_ev == pytest.approx(MU_MINUS)
+        assert result.ground_state.valid
+
+    def test_far_dots_both_charge(self):
+        layout = SiDBLayout()
+        layout.add_dot(0, 0, 0)
+        layout.add_dot(200, 0, 0)  # ~77 nm apart: negligible repulsion
+        result = simulate_ground_state(layout)
+        assert result.ground_state.num_charged == 2
+
+    def test_bdl_pair_single_occupancy(self):
+        result = simulate_ground_state(bdl_pair(0, 0))
+        assert is_bdl_encoding(result)
+        assert result.ground_state.num_charged == 1
+
+    def test_bdl_pair_twofold_degenerate(self):
+        result = simulate_ground_state(bdl_pair(0, 0))
+        assert result.degeneracy == 2
+        states = {c.charges for c in result.degenerate_states}
+        assert states == {(0, 1), (1, 0)}
+
+    def test_energy_is_minimal_over_valid_states(self):
+        layout = SiDBLayout()
+        for n in (0, 1, 5, 6):
+            layout.add_dot(n, 0, 0)
+        result = simulate_ground_state(layout)
+        for state in result.degenerate_states:
+            assert state.energy_ev <= result.ground_state.energy_ev + 1e-6
+        assert result.valid_configurations >= result.degeneracy
+
+    def test_mu_zero_keeps_everything_neutral(self):
+        # With no charging incentive the stable ground state is neutral.
+        layout = bdl_pair(0, 0)
+        result = simulate_ground_state(layout, mu_minus=0.0)
+        assert result.ground_state.num_charged == 0
+
+    def test_charge_of_lookup(self):
+        result = simulate_ground_state(bdl_pair(0, 0))
+        total = sum(
+            result.ground_state.charge_of(d) for d in result.ground_state.dots
+        )
+        assert total == 1
+
+
+class TestLimits:
+    def test_empty_rejected(self):
+        with pytest.raises(SiDBSimulationError, match="no dangling bonds"):
+            simulate_ground_state(SiDBLayout())
+
+    def test_size_bound(self):
+        layout = SiDBLayout()
+        for n in range(25):
+            layout.add_dot(n * 10, 0, 0)
+        with pytest.raises(SiDBSimulationError, match="exceed"):
+            simulate_ground_state(layout)
+
+    def test_examined_count(self):
+        result = simulate_ground_state(bdl_pair(0, 0))
+        assert result.configurations_examined == 4

@@ -1,0 +1,109 @@
+"""Integration tests: complete flows across all subsystems.
+
+Each test exercises a full MNT Bench pipeline — network construction,
+physical design, optimisation, gate-library application, file formats —
+the way a downstream user of the library would chain them.
+"""
+
+import pytest
+
+from repro import (
+    BESTAGON,
+    QCA_ONE,
+    OrthoParams,
+    PostLayoutParams,
+    apply_gate_library,
+    check_equivalence,
+    check_layout,
+    compute_metrics,
+    layout_equivalent,
+    network_to_verilog,
+    orthogonal_layout,
+    parse_verilog,
+    post_layout_optimization,
+    read_fgl,
+    to_hexagonal,
+    write_fgl,
+)
+from repro.benchsuite import benchmarks_of, get_benchmark
+from repro.io import write_qca, write_sqd
+
+
+class TestQcaOnePipeline:
+    """Verilog → ortho → PLO → .fgl → QCA ONE cells → .qca file."""
+
+    def test_end_to_end(self, tmp_path):
+        spec = get_benchmark("trindade16", "full_adder")
+        net = spec.build()
+
+        verilog = tmp_path / "fa.v"
+        verilog.write_text(network_to_verilog(net))
+        reloaded = parse_verilog(verilog.read_text())
+        assert check_equivalence(net, reloaded).equivalent
+
+        layout = orthogonal_layout(reloaded).layout
+        optimised = post_layout_optimization(layout, PostLayoutParams(timeout=15)).layout
+        assert check_layout(optimised).ok
+        assert layout_equivalent(optimised, net).equivalent
+
+        fgl = tmp_path / "fa.fgl"
+        write_fgl(optimised, fgl)
+        restored = read_fgl(fgl)
+        assert layout_equivalent(restored, net).equivalent
+
+        cells = apply_gate_library(restored, QCA_ONE)
+        assert cells.num_cells() > 0
+        write_qca(cells, tmp_path / "fa.qca")
+        assert (tmp_path / "fa.qca").stat().st_size > 0
+
+
+class TestBestagonPipeline:
+    """Network → ortho → 45° hexagonalization → Bestagon → .sqd file."""
+
+    def test_end_to_end(self, tmp_path):
+        spec = get_benchmark("trindade16", "par_gen")
+        net = spec.build()
+        cartesian = orthogonal_layout(net).layout
+        hexed = to_hexagonal(cartesian).layout
+        assert check_layout(hexed).ok
+        assert layout_equivalent(hexed, net).equivalent
+
+        fgl = tmp_path / "pg.fgl"
+        write_fgl(hexed, fgl)
+        restored = read_fgl(fgl)
+        metrics = compute_metrics(restored)
+        assert metrics.area == compute_metrics(hexed).area
+
+        sidb = apply_gate_library(restored, BESTAGON)
+        write_sqd(sidb, tmp_path / "pg.sqd")
+        assert (tmp_path / "pg.sqd").stat().st_size > 0
+
+
+class TestAllTrindadeFunctionsThroughOrtho:
+    @pytest.mark.parametrize("spec", benchmarks_of("trindade16"), ids=lambda s: s.name)
+    def test_layout_and_verify(self, spec):
+        net = spec.build()
+        result = orthogonal_layout(net)
+        assert check_layout(result.layout).ok
+        assert layout_equivalent(result.layout, net).equivalent
+
+
+class TestFontesFunctionsThroughSparseOrtho:
+    @pytest.mark.parametrize("spec", benchmarks_of("fontes18"), ids=lambda s: s.name)
+    def test_layout_and_verify(self, spec):
+        net = spec.build(node_cap=80)
+        result = orthogonal_layout(net, OrthoParams(compact=False))
+        assert check_layout(result.layout).ok
+        assert layout_equivalent(result.layout, net).equivalent
+
+
+class TestMediumSyntheticCircuit:
+    def test_iscas_c432_scaled(self):
+        spec = get_benchmark("iscas85", "c432")
+        net = spec.build(node_cap=150)
+        result = orthogonal_layout(net, OrthoParams(compact=False))
+        assert check_layout(result.layout).ok
+        assert layout_equivalent(result.layout, net, num_vectors=64).equivalent
+        hexed = to_hexagonal(result.layout).layout
+        assert check_layout(hexed).ok
+        assert layout_equivalent(hexed, net, num_vectors=64).equivalent

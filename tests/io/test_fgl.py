@@ -1,0 +1,177 @@
+"""Tests for the .fgl gate-level file format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.io import FglError, fgl_to_layout, layout_to_fgl, read_fgl, write_fgl
+from repro.layout import GateLayout, OPEN, ROW, TWODDWAVE, Tile, Topology, check_layout
+from repro.networks import check_equivalence
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder, mux21, ripple_carry_adder
+from repro.optimization import to_hexagonal
+from repro.physical_design import OrthoParams, orthogonal_layout
+
+
+def roundtrip(layout):
+    return fgl_to_layout(layout_to_fgl(layout))
+
+
+class TestWriting:
+    def test_header_fields(self, and_layout):
+        layout, _ = and_layout
+        text = layout_to_fgl(layout)
+        assert "<fgl>" in text
+        assert "<name>and2</name>" in text
+        assert "<topology>cartesian</topology>" in text
+        assert "<name>2DDWave</name>" in text
+
+    def test_gate_entries(self, and_layout):
+        layout, _ = and_layout
+        text = layout_to_fgl(layout)
+        assert "<type>PI</type>" in text
+        assert "<type>AND</type>" in text
+        assert "<type>PO</type>" in text
+        assert "<incoming>" in text
+
+    def test_inverter_spelled_inv(self):
+        from repro.networks import GateType
+
+        lay = GateLayout(3, 1, TWODDWAVE)
+        a = lay.create_pi(Tile(0, 0), "a")
+        n = lay.create_gate(GateType.NOT, Tile(1, 0), [a])
+        lay.create_po(Tile(2, 0), n)
+        assert "<type>INV</type>" in layout_to_fgl(lay)
+
+    def test_file_roundtrip(self, tmp_path, and_layout):
+        layout, spec = and_layout
+        path = tmp_path / "and2.fgl"
+        write_fgl(layout, path)
+        loaded = read_fgl(path)
+        assert check_equivalence(spec, loaded.extract_network()).equivalent
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [mux21, full_adder, lambda: ripple_carry_adder(2)]
+    )
+    def test_cartesian(self, factory):
+        net = factory()
+        layout = orthogonal_layout(net).layout
+        loaded = roundtrip(layout)
+        assert loaded.width == layout.width and loaded.height == layout.height
+        assert check_layout(loaded).ok
+        assert check_equivalence(net, loaded.extract_network()).equivalent
+
+    def test_hexagonal(self):
+        net = full_adder()
+        layout = to_hexagonal(orthogonal_layout(net).layout).layout
+        loaded = roundtrip(layout)
+        assert loaded.topology is Topology.HEXAGONAL_EVEN_ROW
+        assert loaded.scheme is ROW
+        assert check_equivalence(net, loaded.extract_network()).equivalent
+
+    def test_crossings_roundtrip(self):
+        net = full_adder()
+        layout = orthogonal_layout(net).layout
+        assert layout.num_crossings() > 0
+        loaded = roundtrip(layout)
+        assert loaded.num_crossings() == layout.num_crossings()
+
+    def test_open_clocking_zones(self, and_layout):
+        layout, spec = and_layout
+        open_layout = GateLayout(3, 2, OPEN, name="and2")
+        for tile, _ in layout.tiles():
+            open_layout.assign_zone(tile, layout.zone(tile))
+        for tile in layout.topological_tiles():
+            gate = layout.get(tile)
+            if gate.is_pi:
+                open_layout.create_pi(tile, gate.name)
+            elif gate.is_po:
+                open_layout.create_po(tile, gate.fanins[0], gate.name)
+            else:
+                open_layout.create_gate(gate.gate_type, tile, gate.fanins, gate.name)
+        loaded = roundtrip(open_layout)
+        assert loaded.zone(Tile(1, 0)) == 1
+        assert check_equivalence(spec, loaded.extract_network()).equivalent
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_layout_roundtrip(self, seed):
+        net = generate_network(GeneratorSpec("f", 5, 2, 25, seed=seed))
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        loaded = roundtrip(layout)
+        assert check_equivalence(net, loaded.extract_network()).equivalent
+
+
+class TestErrors:
+    def test_not_xml(self):
+        with pytest.raises(FglError, match="well-formed"):
+            fgl_to_layout("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(FglError, match="expected <fgl>"):
+            fgl_to_layout("<qca/>")
+
+    def test_missing_header(self):
+        with pytest.raises(FglError, match="missing <layout>"):
+            fgl_to_layout("<fgl><gates/></fgl>")
+
+    def test_unknown_topology(self):
+        with pytest.raises(FglError, match="unknown topology"):
+            fgl_to_layout(
+                "<fgl><layout><name>x</name><topology>spherical</topology>"
+                "<size><x>2</x><y>2</y><z>1</z></size>"
+                "<clocking><name>2DDWave</name></clocking></layout>"
+                "<gates/></fgl>"
+            )
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(FglError, match="unknown gate type"):
+            fgl_to_layout(
+                "<fgl><layout><name>x</name><topology>cartesian</topology>"
+                "<size><x>2</x><y>2</y><z>1</z></size>"
+                "<clocking><name>2DDWave</name></clocking></layout>"
+                "<gates><gate><id>0</id><type>WARP</type>"
+                "<loc><x>0</x><y>0</y><z>0</z></loc></gate></gates></fgl>"
+            )
+
+    def test_unresolvable_fanin(self):
+        with pytest.raises(FglError, match="unresolvable"):
+            fgl_to_layout(
+                "<fgl><layout><name>x</name><topology>cartesian</topology>"
+                "<size><x>3</x><y>3</y><z>1</z></size>"
+                "<clocking><name>2DDWave</name></clocking></layout>"
+                "<gates><gate><id>0</id><type>BUF</type>"
+                "<loc><x>1</x><y>0</y><z>0</z></loc>"
+                "<incoming><signal><x>0</x><y>0</y><z>0</z></signal></incoming>"
+                "</gate></gates></fgl>"
+            )
+
+    def test_pi_with_fanin_rejected(self):
+        with pytest.raises(FglError, match="PI"):
+            fgl_to_layout(
+                "<fgl><layout><name>x</name><topology>cartesian</topology>"
+                "<size><x>3</x><y>3</y><z>1</z></size>"
+                "<clocking><name>2DDWave</name></clocking></layout>"
+                "<gates>"
+                "<gate><id>0</id><type>PI</type><loc><x>0</x><y>0</y><z>0</z></loc></gate>"
+                "<gate><id>1</id><type>PI</type><loc><x>1</x><y>0</y><z>0</z></loc>"
+                "<incoming><signal><x>0</x><y>0</y><z>0</z></signal></incoming></gate>"
+                "</gates></fgl>"
+            )
+
+    def test_alias_inv_and_not_accepted(self):
+        text = (
+            "<fgl><layout><name>x</name><topology>cartesian</topology>"
+            "<size><x>3</x><y>1</y><z>1</z></size>"
+            "<clocking><name>2DDWave</name></clocking></layout>"
+            "<gates>"
+            "<gate><id>0</id><type>PI</type><loc><x>0</x><y>0</y><z>0</z></loc></gate>"
+            "<gate><id>1</id><type>NOT</type><loc><x>1</x><y>0</y><z>0</z></loc>"
+            "<incoming><signal><x>0</x><y>0</y><z>0</z></signal></incoming></gate>"
+            "<gate><id>2</id><type>PO</type><loc><x>2</x><y>0</y><z>0</z></loc>"
+            "<incoming><signal><x>1</x><y>0</y><z>0</z></signal></incoming></gate>"
+            "</gates></fgl>"
+        )
+        layout = fgl_to_layout(text)
+        assert check_layout(layout).ok

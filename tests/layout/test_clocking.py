@@ -1,0 +1,94 @@
+"""Tests for the clocking schemes."""
+
+import pytest
+
+from repro.layout import (
+    CARTESIAN_SCHEMES,
+    CFE,
+    ESR,
+    HEXAGONAL_SCHEMES,
+    OPEN,
+    RES,
+    ROW,
+    SCHEMES,
+    TWODDWAVE,
+    USE,
+    Tile,
+    get_scheme,
+)
+
+
+class TestTwoDDWave:
+    def test_diagonal_zones(self):
+        for x in range(8):
+            for y in range(8):
+                assert TWODDWAVE.zone(Tile(x, y)) == (x + y) % 4
+
+    def test_flow_east_and_south_only(self):
+        t = Tile(3, 3)
+        assert TWODDWAVE.is_incoming_clocked(Tile(4, 3), t)
+        assert TWODDWAVE.is_incoming_clocked(Tile(3, 4), t)
+        assert not TWODDWAVE.is_incoming_clocked(Tile(2, 3), t)
+        assert not TWODDWAVE.is_incoming_clocked(Tile(3, 2), t)
+
+
+class TestMatrixSchemes:
+    @pytest.mark.parametrize("scheme", [USE, RES, ESR, ROW, CFE])
+    def test_period_four(self, scheme):
+        for x in range(4):
+            for y in range(4):
+                assert scheme.zone(Tile(x, y)) == scheme.zone(Tile(x + 4, y + 4))
+
+    def test_row_zones_follow_rows(self):
+        for y in range(8):
+            for x in range(5):
+                assert ROW.zone(Tile(x, y)) == y % 4
+
+    def test_use_matrix_values(self):
+        assert USE.zone(Tile(0, 0)) == 0
+        assert USE.zone(Tile(3, 0)) == 3
+        assert USE.zone(Tile(0, 1)) == 3
+        assert USE.zone(Tile(0, 3)) == 1
+
+    def test_use_allows_feedback(self):
+        # USE zone layout contains westward transitions (row 1: 3,2,1,0).
+        assert USE.is_incoming_clocked(Tile(2, 1), Tile(3, 1))
+
+    def test_zone_range(self):
+        for scheme in (USE, RES, ESR, ROW, CFE):
+            for x in range(4):
+                for y in range(4):
+                    assert 0 <= scheme.zone(Tile(x, y)) < 4
+
+    def test_every_zone_present(self):
+        for scheme in (USE, RES, ESR, ROW):
+            zones = {scheme.zone(Tile(x, y)) for x in range(4) for y in range(4)}
+            assert zones == {0, 1, 2, 3}
+
+
+class TestOpen:
+    def test_zone_query_rejected(self):
+        with pytest.raises(ValueError):
+            OPEN.zone(Tile(0, 0))
+
+    def test_is_irregular(self):
+        assert not OPEN.regular
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_scheme("2ddwave") is TWODDWAVE
+        assert get_scheme("2DDWave") is TWODDWAVE
+        assert get_scheme("row") is ROW
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown clocking scheme"):
+            get_scheme("spiral")
+
+    def test_ui_facets(self):
+        assert TWODDWAVE in CARTESIAN_SCHEMES
+        assert ROW in HEXAGONAL_SCHEMES
+        assert len(SCHEMES) >= 6
+
+    def test_str(self):
+        assert str(USE) == "USE"

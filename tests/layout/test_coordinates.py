@@ -1,0 +1,103 @@
+"""Tests for tile coordinates and grid adjacency."""
+
+from hypothesis import given, strategies as st
+
+from repro.layout.coordinates import (
+    Tile,
+    Topology,
+    adjacent,
+    cartesian_neighbors,
+    grid_distance,
+    hex_adjacent,
+    hex_distance,
+    hex_neighbors,
+    hex_neighbors_offsets,
+    manhattan,
+    neighbors,
+)
+
+coords = st.integers(min_value=0, max_value=40)
+
+
+class TestTile:
+    def test_default_layer(self):
+        assert Tile(1, 2).z == 0
+
+    def test_ground_and_above(self):
+        t = Tile(3, 4, 1)
+        assert t.ground == Tile(3, 4, 0)
+        assert t.ground.above == Tile(3, 4, 1)
+
+    def test_str(self):
+        assert str(Tile(1, 2, 0)) == "(1,2,0)"
+
+
+class TestCartesian:
+    def test_four_neighbors_in_interior(self):
+        n = cartesian_neighbors(Tile(5, 5), 10, 10)
+        assert len(n) == 4
+
+    def test_corner_has_two(self):
+        assert len(cartesian_neighbors(Tile(0, 0), 10, 10)) == 2
+
+    def test_adjacency_symmetry(self):
+        a, b = Tile(2, 3), Tile(3, 3)
+        assert adjacent(Topology.CARTESIAN, a, b)
+        assert adjacent(Topology.CARTESIAN, b, a)
+
+    def test_diagonal_not_adjacent(self):
+        assert not adjacent(Topology.CARTESIAN, Tile(0, 0), Tile(1, 1))
+
+    def test_manhattan(self):
+        assert manhattan(Tile(0, 0), Tile(3, 4)) == 7
+
+
+class TestHexagonal:
+    def test_six_neighbors_in_interior(self):
+        assert len(hex_neighbors(Tile(5, 5), 12, 12)) == 6
+        assert len(hex_neighbors(Tile(5, 6), 12, 12)) == 6
+
+    def test_offsets_have_six_entries_each_parity(self):
+        assert len(hex_neighbors_offsets(0)) == 6
+        assert len(hex_neighbors_offsets(1)) == 6
+
+    @given(coords, coords)
+    def test_adjacency_symmetry(self, x, y):
+        for dx, dy in hex_neighbors_offsets(y):
+            other = Tile(x + dx, y + dy)
+            assert hex_adjacent(Tile(x, y), other)
+            assert hex_adjacent(other, Tile(x, y))
+
+    @given(coords, coords)
+    def test_distance_to_neighbors_is_one(self, x, y):
+        for n in hex_neighbors(Tile(x, y), 100, 100):
+            assert hex_distance(Tile(x, y), n) == 1
+
+    @given(coords, coords, coords, coords)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Tile(x1, y1), Tile(x2, y2)
+        assert hex_distance(a, b) == hex_distance(b, a)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Tile(x1, y1), Tile(x2, y2), Tile(x3, y3)
+        assert hex_distance(a, c) <= hex_distance(a, b) + hex_distance(b, c)
+
+    def test_identity_distance(self):
+        assert hex_distance(Tile(4, 4), Tile(4, 4)) == 0
+
+
+class TestDispatch:
+    def test_neighbors_dispatch(self):
+        cart = neighbors(Topology.CARTESIAN, Tile(1, 1), 5, 5)
+        hexa = neighbors(Topology.HEXAGONAL_EVEN_ROW, Tile(1, 1), 5, 5)
+        assert len(cart) == 4
+        assert len(hexa) == 6
+
+    def test_grid_distance_dispatch(self):
+        assert grid_distance(Topology.CARTESIAN, Tile(0, 0), Tile(2, 2)) == 4
+        assert grid_distance(Topology.HEXAGONAL_EVEN_ROW, Tile(0, 0), Tile(0, 2)) == 2
+
+    def test_topology_short_names(self):
+        assert Topology.CARTESIAN.short_name == "cartesian"
+        assert Topology.HEXAGONAL_EVEN_ROW.short_name == "hexagonal"

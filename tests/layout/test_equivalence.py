@@ -1,0 +1,66 @@
+"""Tests for layout-versus-network equivalence checking."""
+
+from repro.layout import GateLayout, TWODDWAVE, Tile, layout_equivalent, verify_layout
+from repro.networks import GateType, LogicNetwork
+from repro.networks.library import full_adder
+from repro.physical_design import orthogonal_layout
+
+
+def test_equivalent_layout(and_layout):
+    layout, spec = and_layout
+    result = layout_equivalent(layout, spec)
+    assert result.equivalent
+    assert result.checked_exhaustively
+
+
+def test_wrong_function_detected(and_layout):
+    layout, _ = and_layout
+    wrong = LogicNetwork("or2")
+    a, b = wrong.create_pi(), wrong.create_pi()
+    wrong.create_po(wrong.create_or(a, b))
+    result = layout_equivalent(layout, wrong)
+    assert not result.equivalent
+    assert result.counterexample is not None
+
+
+def test_swapped_pis_detected():
+    # A layout implementing a AND NOT b is not equivalent to the network
+    # computing NOT a AND b — PI order matters.
+    lay = GateLayout(4, 4, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 1), "a")
+    b = lay.create_pi(Tile(1, 0), "b")
+    nb = lay.create_gate(GateType.NOT, Tile(1, 1), [b])
+    g = lay.create_gate(GateType.AND, Tile(1, 2), [lay.create_wire(Tile(0, 2), a), nb])
+    lay.create_po(Tile(2, 2), g)
+
+    spec = LogicNetwork()
+    x, y = spec.create_pi("a"), spec.create_pi("b")
+    spec.create_po(spec.create_and(spec.create_not(x), y))
+    assert not layout_equivalent(lay, spec).equivalent
+
+    matching = LogicNetwork()
+    x, y = matching.create_pi("a"), matching.create_pi("b")
+    matching.create_po(matching.create_and(x, matching.create_not(y)))
+    assert layout_equivalent(lay, matching).equivalent
+
+
+def test_verify_layout_full_signoff(and_layout):
+    layout, spec = and_layout
+    drc, equivalence = verify_layout(layout, spec)
+    assert drc.ok
+    assert equivalence.equivalent
+
+
+def test_verify_layout_short_circuits_on_drc_failure(and_layout):
+    layout, spec = and_layout
+    layout.remove(Tile(2, 1))  # drop the PO: structural violation
+    drc, equivalence = verify_layout(layout, spec)
+    assert not drc.ok
+    assert not equivalence.equivalent
+
+
+def test_generated_layout_verifies():
+    net = full_adder()
+    layout = orthogonal_layout(net).layout
+    drc, equivalence = verify_layout(layout, net)
+    assert drc.ok and equivalence.equivalent

@@ -1,0 +1,205 @@
+"""Tests for the gate-level layout data structure."""
+
+import pytest
+
+from repro.layout import GateLayout, OPEN, ROW, TWODDWAVE, Tile, Topology
+from repro.networks import GateType, LogicNetwork, check_equivalence
+from tests.conftest import assert_layout_good
+
+
+class TestGeometry:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            GateLayout(0, 3, TWODDWAVE)
+
+    def test_in_bounds(self):
+        lay = GateLayout(3, 2, TWODDWAVE)
+        assert lay.in_bounds(Tile(2, 1))
+        assert lay.in_bounds(Tile(2, 1, 1))
+        assert not lay.in_bounds(Tile(3, 0))
+        assert not lay.in_bounds(Tile(0, 0, 2))
+
+    def test_resize_guards_occupied(self):
+        lay = GateLayout(4, 4, TWODDWAVE)
+        lay.create_pi(Tile(3, 0))
+        with pytest.raises(ValueError):
+            lay.resize(3, 4)
+        lay.resize(5, 5)
+        assert lay.width == 5
+
+    def test_bounding_box_and_shrink(self):
+        lay = GateLayout(10, 10, TWODDWAVE)
+        lay.create_pi(Tile(1, 0))
+        lay.create_wire(Tile(2, 0), Tile(1, 0))
+        assert lay.bounding_box() == (3, 1)
+        lay.shrink_to_fit()
+        assert (lay.width, lay.height) == (3, 1)
+
+    def test_area(self):
+        assert GateLayout(3, 4, TWODDWAVE).area() == 12
+
+
+class TestPlacement:
+    def test_double_occupancy_rejected(self):
+        lay = GateLayout(3, 3, TWODDWAVE)
+        lay.create_pi(Tile(0, 0))
+        with pytest.raises(ValueError):
+            lay.create_pi(Tile(0, 0))
+
+    def test_fanin_must_exist(self):
+        lay = GateLayout(3, 3, TWODDWAVE)
+        with pytest.raises(ValueError):
+            lay.create_wire(Tile(1, 1), Tile(0, 1))
+
+    def test_crossing_layer_wires_only(self):
+        lay = GateLayout(3, 3, TWODDWAVE)
+        a = lay.create_pi(Tile(0, 0))
+        b = lay.create_pi(Tile(1, 0))
+        with pytest.raises(ValueError):
+            lay.create_gate(GateType.NOT, Tile(0, 1, 1), [a])
+
+    def test_io_pads_use_dedicated_constructors(self):
+        lay = GateLayout(3, 3, TWODDWAVE)
+        with pytest.raises(ValueError):
+            lay.create_gate(GateType.PI, Tile(0, 0), [])
+
+    def test_constants_not_placeable(self):
+        lay = GateLayout(3, 3, TWODDWAVE)
+        with pytest.raises(ValueError):
+            lay.create_gate(GateType.CONST0, Tile(0, 0), [])
+
+    def test_gate_arity_checked(self):
+        lay = GateLayout(3, 3, TWODDWAVE)
+        a = lay.create_pi(Tile(0, 0))
+        with pytest.raises(ValueError):
+            lay.create_gate(GateType.AND, Tile(1, 0), [a])
+
+
+class TestClockingAccess:
+    def test_regular_zone(self):
+        lay = GateLayout(4, 4, TWODDWAVE)
+        assert lay.zone(Tile(1, 2)) == 3
+
+    def test_open_zone_assignment(self):
+        lay = GateLayout(4, 4, OPEN)
+        lay.assign_zone(Tile(1, 1), 2)
+        assert lay.zone(Tile(1, 1)) == 2
+        assert lay.zone(Tile(1, 1, 1)) == 2  # layers share the zone
+
+    def test_regular_assignment_rejected(self):
+        lay = GateLayout(4, 4, TWODDWAVE)
+        with pytest.raises(ValueError):
+            lay.assign_zone(Tile(0, 0), 1)
+
+    def test_zone_range_checked(self):
+        lay = GateLayout(4, 4, OPEN)
+        with pytest.raises(ValueError):
+            lay.assign_zone(Tile(0, 0), 7)
+
+    def test_incoming_outgoing(self):
+        lay = GateLayout(4, 4, TWODDWAVE)
+        outs = lay.outgoing_tiles(Tile(1, 1))
+        assert Tile(2, 1) in outs and Tile(1, 2) in outs
+        ins = lay.incoming_tiles(Tile(1, 1))
+        assert Tile(0, 1) in ins and Tile(1, 0) in ins
+
+
+class TestConnectivity:
+    def test_readers_tracking(self, and_layout):
+        layout, _ = and_layout
+        gate_tile = Tile(1, 1)
+        assert layout.readers(Tile(1, 0)) == [gate_tile]
+        assert layout.fanout_degree(gate_tile) == 1
+
+    def test_readers_update_on_remove(self, and_layout):
+        layout, _ = and_layout
+        layout.remove(Tile(2, 1))  # the PO
+        assert layout.fanout_degree(Tile(1, 1)) == 0
+
+    def test_replace_fanin(self, and_layout):
+        layout, _ = and_layout
+        wire = layout.create_wire(Tile(2, 0), Tile(1, 0))
+        del wire
+        layout.replace_fanin(Tile(2, 1), Tile(1, 1), Tile(2, 0))
+        assert layout.get(Tile(2, 1)).fanins == (Tile(2, 0),)
+        assert layout.readers(Tile(2, 0)) == [Tile(2, 1)]
+
+    def test_replace_fanin_requires_existing_edge(self, and_layout):
+        layout, _ = and_layout
+        with pytest.raises(ValueError):
+            layout.replace_fanin(Tile(2, 1), Tile(0, 0), Tile(1, 1))
+
+    def test_topological_tiles(self, and_layout):
+        layout, _ = and_layout
+        order = layout.topological_tiles()
+        position = {t: i for i, t in enumerate(order)}
+        for tile, gate in layout.tiles():
+            for fanin in gate.fanins:
+                assert position[fanin] < position[tile]
+
+    def test_cycle_detected(self):
+        lay = GateLayout(4, 4, ROW)
+        a = lay.create_pi(Tile(0, 0))
+        w1 = lay.create_wire(Tile(0, 1), a)
+        w2 = lay.create_wire(Tile(1, 2), w1)
+        # Manufacture a cycle by rewiring w1 to read from w2.
+        lay.replace_fanin(Tile(0, 1), a, w2)
+        with pytest.raises(ValueError, match="cycle"):
+            lay.topological_tiles()
+
+
+class TestMove:
+    def test_move_updates_readers(self, and_layout):
+        layout, spec = and_layout
+        layout.resize(3, 3)
+        layout.move(Tile(2, 1), Tile(1, 2), new_fanins=[Tile(1, 1)])
+        assert layout.get(Tile(1, 2)).is_po
+        assert_layout_good(layout, spec)
+
+    def test_move_preserves_po_order(self):
+        lay = GateLayout(5, 5, TWODDWAVE)
+        a = lay.create_pi(Tile(1, 0), "a")
+        b = lay.create_pi(Tile(0, 1), "b")
+        lay.create_po(Tile(2, 0), a, "f0")
+        lay.create_po(Tile(0, 2), b, "f1")
+        lay.move(Tile(2, 0), Tile(1, 1), new_fanins=[Tile(1, 0)])
+        assert lay.pos() == [Tile(1, 1), Tile(0, 2)]
+
+
+class TestExtraction:
+    def test_extract_and(self, and_layout):
+        layout, spec = and_layout
+        extracted = layout.extract_network()
+        assert check_equivalence(spec, extracted).equivalent
+
+    def test_extract_preserves_pi_order(self):
+        lay = GateLayout(4, 4, TWODDWAVE)
+        # Place PIs in an order that differs from the traversal order.
+        b = lay.create_pi(Tile(0, 1), "b")
+        a = lay.create_pi(Tile(1, 0), "a")
+        g = lay.create_gate(GateType.AND, Tile(1, 1), [a, b])
+        lay.create_po(Tile(2, 1), g)
+        extracted = lay.extract_network()
+        names = [extracted.node(pi).name for pi in extracted.pis()]
+        assert names == ["b", "a"]
+
+    def test_counts(self, and_layout):
+        layout, _ = and_layout
+        assert layout.num_gates() == 1
+        assert layout.num_wires() == 0
+        assert layout.num_crossings() == 0
+        assert len(layout) == 4
+
+
+class TestRender:
+    def test_render_glyphs(self, and_layout):
+        layout, _ = and_layout
+        art = layout.render()
+        assert "&" in art and "I" in art and "O" in art
+
+    def test_clone_independent(self, and_layout):
+        layout, spec = and_layout
+        copy = layout.clone()
+        copy.remove(Tile(2, 1))
+        assert layout.is_occupied(Tile(2, 1))
+        assert_layout_good(layout, spec)

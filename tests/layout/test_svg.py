@@ -1,0 +1,57 @@
+"""Tests for the SVG layout renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.layout.svg import layout_to_svg, write_svg
+from repro.networks.library import full_adder, mux21
+from repro.optimization import to_hexagonal
+from repro.physical_design import orthogonal_layout
+
+
+def test_valid_xml(and_layout):
+    layout, _ = and_layout
+    svg = layout_to_svg(layout)
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_tiles_and_arrows_present(and_layout):
+    layout, _ = and_layout
+    svg = layout_to_svg(layout)
+    # One rect per background tile + one per occupied ground tile.
+    assert svg.count("<rect") >= layout.width * layout.height
+    assert svg.count("<line") == sum(len(g.fanins) for _, g in layout.tiles())
+
+
+def test_io_labels(and_layout):
+    layout, _ = and_layout
+    svg = layout_to_svg(layout)
+    assert ">a</text>" in svg and ">b</text>" in svg and ">f</text>" in svg
+
+
+def test_clock_zones_optional(and_layout):
+    layout, _ = and_layout
+    with_zones = layout_to_svg(layout, show_clock_zones=True)
+    without = layout_to_svg(layout, show_clock_zones=False)
+    assert with_zones.count("<rect") > without.count("<rect")
+
+
+def test_crossings_dashed():
+    layout = orthogonal_layout(full_adder()).layout
+    assert layout.num_crossings() > 0
+    svg = layout_to_svg(layout)
+    assert "stroke-dasharray" in svg
+
+
+def test_hexagonal_rendering():
+    layout = to_hexagonal(orthogonal_layout(mux21()).layout).layout
+    svg = layout_to_svg(layout)
+    assert "<polygon" in svg
+    ET.fromstring(svg)
+
+
+def test_write_svg(tmp_path, and_layout):
+    layout, _ = and_layout
+    path = tmp_path / "layout.svg"
+    write_svg(layout, path)
+    assert path.read_text().startswith("<svg")

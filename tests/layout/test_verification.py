@@ -1,0 +1,136 @@
+"""Tests for the design-rule checker."""
+
+import pytest
+
+from repro.layout import GateLayout, ROW, TWODDWAVE, Tile, check_layout
+from repro.networks import GateType
+
+
+def test_clean_layout(and_layout):
+    layout, _ = and_layout
+    report = check_layout(layout)
+    assert report.ok
+    assert bool(report)
+    assert report.summary() == "DRC clean"
+
+
+def test_missing_po_flagged():
+    lay = GateLayout(3, 3, TWODDWAVE)
+    lay.create_pi(Tile(0, 0))
+    report = check_layout(lay)
+    assert not report.ok
+    assert any("no primary outputs" in v for v in report.violations)
+
+
+def test_clocking_violation_flagged():
+    lay = GateLayout(4, 4, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 0))
+    # West-flowing wire: (0,0) zone 0 feeding (1,0) zone 1 is fine,
+    # but (1,1) zone 2 feeding (1,0) zone 1 is a violation.
+    w = lay.create_wire(Tile(1, 0), a)
+    b = lay.create_wire(Tile(1, 1), w)
+    lay.create_po(Tile(2, 1), b)
+    # manufacture violation: rewire w to read from b (backwards in clock)
+    lay.replace_fanin(Tile(1, 0), a, b)
+    lay.remove(Tile(0, 0))
+    report = check_layout(lay)
+    assert any("violates clocking" in v for v in report.violations)
+
+
+def test_non_adjacent_fanin_flagged():
+    lay = GateLayout(5, 5, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 0))
+    w = lay.create_wire(Tile(1, 0), a)
+    lay.create_po(Tile(2, 0), w)
+    lay.replace_fanin(Tile(2, 0), w, a)  # now reads a non-neighbour
+    report = check_layout(lay)
+    assert any("not adjacent" in v for v in report.violations)
+
+
+def test_arity_violation_flagged(and_layout):
+    layout, _ = and_layout
+    # Sneak in a malformed record through the private store.
+    from repro.layout.gate_layout import LayoutGate
+
+    layout._tiles[Tile(2, 0)] = LayoutGate(GateType.AND, (Tile(1, 0),))
+    report = check_layout(layout)
+    assert any("expected 2" in v for v in report.violations)
+
+
+def test_duplicate_fanin_flagged():
+    lay = GateLayout(4, 4, TWODDWAVE)
+    a = lay.create_pi(Tile(1, 0))
+    from repro.layout.gate_layout import LayoutGate
+
+    lay._tiles[Tile(1, 1)] = LayoutGate(GateType.AND, (a, a))
+    report = check_layout(lay)
+    assert any("duplicate fanin" in v for v in report.violations)
+
+
+def test_fanout_capacity():
+    lay = GateLayout(5, 5, TWODDWAVE)
+    a = lay.create_pi(Tile(1, 1))
+    lay.create_wire(Tile(2, 1), a)
+    lay.create_wire(Tile(1, 2), a)
+    report = check_layout(lay)
+    assert any("drives 2 readers" in v for v in report.violations)
+
+
+def test_fanout_tile_allows_two_readers():
+    lay = GateLayout(5, 5, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 1))
+    fo = lay.create_gate(GateType.FANOUT, Tile(1, 1), [a])
+    w1 = lay.create_wire(Tile(2, 1), fo)
+    w2 = lay.create_wire(Tile(1, 2), fo)
+    lay.create_po(Tile(3, 1), w1)
+    lay.create_po(Tile(1, 3), w2)
+    report = check_layout(lay)
+    assert report.ok, report.summary()
+
+
+def test_po_must_not_be_read():
+    lay = GateLayout(4, 4, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 0))
+    po = lay.create_po(Tile(1, 0), a)
+    lay.create_wire(Tile(2, 0), po)
+    report = check_layout(lay)
+    assert any("PO is read" in v for v in report.violations)
+
+
+def test_crossing_layer_gate_flagged():
+    lay = GateLayout(4, 4, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 0))
+    from repro.layout.gate_layout import LayoutGate
+
+    lay._tiles[Tile(1, 0, 1)] = LayoutGate(GateType.NOT, (a,))
+    report = check_layout(lay)
+    assert any("crossing layer hosts" in v for v in report.violations)
+
+
+def test_unread_gate_warned(and_layout):
+    layout, _ = and_layout
+    layout.remove(Tile(2, 1))
+    report = check_layout(layout)
+    assert any("unread" in w for w in report.warnings)
+
+
+def test_border_io_warning():
+    lay = GateLayout(5, 5, ROW)
+    a = lay.create_pi(Tile(2, 2))
+    lay.create_po(Tile(2, 3), a)
+    report = check_layout(lay, require_border_io=True)
+    assert any("not on the layout border" in w for w in report.warnings)
+
+
+def test_same_side_entry_flagged():
+    lay = GateLayout(4, 4, TWODDWAVE)
+    a = lay.create_pi(Tile(0, 0))
+    b = lay.create_pi(Tile(0, 1))
+    w_ground = lay.create_wire(Tile(1, 0), a)
+    w_above = lay.create_gate(GateType.BUF, Tile(1, 0, 1), [b])
+    from repro.layout.gate_layout import LayoutGate
+
+    # An AND whose fanins both arrive from the west side (z=0 and z=1).
+    lay._tiles[Tile(2, 0)] = LayoutGate(GateType.AND, (w_ground, w_above))
+    report = check_layout(lay)
+    assert any("same side" in v for v in report.violations)

@@ -1,0 +1,78 @@
+"""Tests for the deterministic synthetic network generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.networks import check_equivalence
+from repro.networks.generators import GeneratorSpec, generate_network, scaled_gate_count
+
+
+class TestSpecValidation:
+    def test_rejects_zero_pis(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 0, 1, 5)
+
+    def test_rejects_zero_pos(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 2, 0, 5)
+
+    def test_rejects_fewer_gates_than_outputs(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 2, 5, 3)
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            GeneratorSpec("x", 2, 1, 5, locality=1.0)
+
+
+class TestGeneration:
+    def test_interface_counts(self):
+        ntk = generate_network(GeneratorSpec("g", 7, 3, 50, seed=3))
+        assert ntk.num_pis() == 7
+        assert ntk.num_pos() == 3
+        assert ntk.num_gates() == 50
+
+    def test_determinism(self):
+        spec = GeneratorSpec("g", 5, 2, 30, seed=11)
+        a = generate_network(spec)
+        b = generate_network(spec)
+        assert check_equivalence(a, b).equivalent
+        assert [n.gate_type for n in a.nodes()] == [n.gate_type for n in b.nodes()]
+
+    def test_different_seeds_differ(self):
+        a = generate_network(GeneratorSpec("g", 5, 2, 30, seed=1))
+        b = generate_network(GeneratorSpec("g", 5, 2, 30, seed=2))
+        assert not check_equivalence(a, b).equivalent
+
+    def test_every_pi_is_read(self):
+        ntk = generate_network(GeneratorSpec("g", 12, 2, 40, seed=5))
+        for pi in ntk.pis():
+            assert ntk.fanout_size(pi) >= 1
+
+    def test_po_sources_distinct_when_possible(self):
+        ntk = generate_network(GeneratorSpec("g", 5, 4, 40, seed=5))
+        assert len(set(ntk.po_signals())) == 4
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_networks_are_wellformed(self, seed):
+        ntk = generate_network(GeneratorSpec("g", 6, 2, 35, seed=seed))
+        order = ntk.topological_order()
+        position = {uid: i for i, uid in enumerate(order)}
+        for uid in order:
+            for fanin in ntk.fanins(uid):
+                assert position[fanin] < position[uid]
+        # gates never read the same signal twice
+        for node in ntk.gates():
+            assert len(set(node.fanins)) == len(node.fanins)
+
+
+class TestScaling:
+    def test_no_cap(self):
+        assert scaled_gate_count(500, None) == 500
+
+    def test_cap_applies(self):
+        assert scaled_gate_count(500, 100) == 100
+
+    def test_cap_no_op_when_small(self):
+        assert scaled_gate_count(50, 100) == 50

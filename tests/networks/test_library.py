@@ -1,0 +1,118 @@
+"""Functional correctness of the standard-function constructors."""
+
+import pytest
+
+from repro.networks.library import (
+    and_or_chain,
+    full_adder,
+    full_adder_maj,
+    half_adder,
+    majority_gate,
+    mux21,
+    one_bit_mux_tree,
+    parity_checker,
+    parity_generator,
+    ripple_carry_adder,
+    xnor2,
+    xor2,
+    xor5_majority,
+)
+from repro.networks import check_equivalence
+
+
+def test_mux21_truth():
+    assert mux21().simulate()[0].to_hex() == "ca"
+
+
+def test_xor2_truth():
+    assert xor2().simulate()[0].to_hex() == "6"
+
+
+def test_xnor2_truth():
+    assert xnor2().simulate()[0].to_hex() == "9"
+
+
+def test_half_adder_truth():
+    s, c = half_adder().simulate()
+    assert s.to_hex() == "6"
+    assert c.to_hex() == "8"
+
+
+def test_full_adder_truth():
+    s, c = full_adder().simulate()
+    assert s.to_hex() == "96"
+    assert c.to_hex() == "e8"
+
+
+def test_full_adder_variants_equivalent():
+    assert check_equivalence(full_adder(), full_adder_maj()).equivalent
+
+
+def test_majority_gate_truth():
+    assert majority_gate().simulate()[0].to_hex() == "e8"
+
+
+@pytest.mark.parametrize("bits", [2, 3, 5])
+def test_parity_generator(bits):
+    tt = parity_generator(bits).simulate()[0]
+    for row in range(1 << bits):
+        assert tt.get(row) == (bin(row).count("1") % 2 == 1)
+
+
+def test_parity_checker_is_generator_alias():
+    assert parity_checker(4).num_pis() == 4
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3])
+def test_ripple_carry_adder_adds(bits):
+    ntk = ripple_carry_adder(bits)
+    for a in range(1 << bits):
+        for b in range(1 << bits):
+            for cin in (0, 1):
+                vector = (
+                    [bool(a >> i & 1) for i in range(bits)]
+                    + [bool(b >> i & 1) for i in range(bits)]
+                    + [bool(cin)]
+                )
+                outputs = ntk.evaluate(vector)
+                value = sum(bit << i for i, bit in enumerate(outputs))
+                assert value == a + b + cin
+
+
+@pytest.mark.parametrize("bits", [1, 2])
+def test_majority_adder_matches_aoig_adder(bits):
+    assert check_equivalence(
+        ripple_carry_adder(bits), ripple_carry_adder(bits, use_majority=True)
+    ).equivalent
+
+
+def test_ripple_carry_adder_rejects_zero_bits():
+    with pytest.raises(ValueError):
+        ripple_carry_adder(0)
+
+
+def test_xor5_majority_truth():
+    tt = xor5_majority().simulate()[0]
+    for row in range(32):
+        assert tt.get(row) == (bin(row).count("1") % 2 == 1)
+
+
+def test_and_or_chain_structure():
+    ntk = and_or_chain(5)
+    assert ntk.num_pis() == 5
+    assert ntk.num_gates() == 4
+
+
+def test_and_or_chain_rejects_single_input():
+    with pytest.raises(ValueError):
+        and_or_chain(1)
+
+
+@pytest.mark.parametrize("select_bits", [1, 2, 3])
+def test_mux_tree_selects(select_bits):
+    ntk = one_bit_mux_tree(select_bits)
+    data_bits = 1 << select_bits
+    for selected in range(data_bits):
+        data = [i == selected for i in range(data_bits)]
+        select = [bool(selected >> i & 1) for i in range(select_bits)]
+        assert ntk.evaluate(data + select) == [True]

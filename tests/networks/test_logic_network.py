@@ -1,0 +1,206 @@
+"""Unit and property tests for the logic network data structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.networks import GateType, LogicNetwork, check_equivalence
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder, mux21
+
+
+class TestConstruction:
+    def test_constants_preexist(self):
+        ntk = LogicNetwork()
+        assert ntk.get_constant(False) == 0
+        assert ntk.get_constant(True) == 1
+        assert ntk.is_constant(0) and ntk.is_constant(1)
+
+    def test_create_pi(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi("a")
+        assert ntk.is_pi(a)
+        assert ntk.pis() == [a]
+        assert ntk.pi_name(a) == "a"
+
+    def test_unnamed_pi_gets_positional_name(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        assert ntk.pi_name(a) == "pi0"
+
+    def test_create_po(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi("a")
+        ntk.create_po(a, "f")
+        assert ntk.po_signals() == [a]
+        assert ntk.po_name(0) == "f"
+
+    def test_po_on_missing_node_rejected(self):
+        ntk = LogicNetwork()
+        with pytest.raises(ValueError):
+            ntk.create_po(42)
+
+    def test_gate_arity_checked(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        with pytest.raises(ValueError):
+            ntk.create_gate(GateType.AND, (a,))
+
+    def test_fanin_existence_checked(self):
+        ntk = LogicNetwork()
+        with pytest.raises(ValueError):
+            ntk.create_not(99)
+
+    def test_num_gates_excludes_sources(self):
+        ntk = mux21()
+        assert ntk.num_gates() == 4
+        assert ntk.num_pis() == 3
+
+
+class TestStructure:
+    def test_fanouts(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        n1 = ntk.create_not(a)
+        n2 = ntk.create_buf(a)
+        assert sorted(ntk.fanouts(a)) == sorted([n1, n2])
+
+    def test_fanout_size_counts_pos(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        ntk.create_po(a)
+        ntk.create_po(a)
+        assert ntk.fanout_size(a) == 2
+
+    def test_topological_order_sources_first(self):
+        ntk = full_adder()
+        order = ntk.topological_order()
+        position = {uid: i for i, uid in enumerate(order)}
+        for node in ntk.nodes():
+            for fanin in node.fanins:
+                if node.uid in position:
+                    assert position[fanin] < position[node.uid]
+
+    def test_topological_order_skips_dangling(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        dead = ntk.create_not(a)
+        ntk.create_po(a)
+        assert dead not in ntk.topological_order()
+
+    def test_depth_of_chain(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        x = a
+        for _ in range(5):
+            x = ntk.create_not(x)
+        ntk.create_po(x)
+        assert ntk.depth() == 5
+
+    def test_stats(self):
+        stats = mux21().stats()
+        assert (stats.num_pis, stats.num_pos, stats.num_gates) == (3, 1, 4)
+
+
+class TestEvaluation:
+    def test_evaluate_mux(self):
+        ntk = mux21()
+        # fanins order: a, b, s — select=1 picks b.
+        assert ntk.evaluate([True, False, False]) == [True]
+        assert ntk.evaluate([True, False, True]) == [False]
+        assert ntk.evaluate([False, True, True]) == [True]
+
+    def test_evaluate_wrong_arity(self):
+        with pytest.raises(ValueError):
+            mux21().evaluate([True])
+
+    def test_simulate_matches_evaluate(self):
+        ntk = full_adder()
+        tables = ntk.simulate()
+        for row in range(8):
+            vector = [bool(row >> i & 1) for i in range(3)]
+            values = ntk.evaluate(vector)
+            for table, value in zip(tables, values):
+                assert table.get(row) == value
+
+    def test_simulate_limit(self):
+        ntk = LogicNetwork()
+        for _ in range(17):
+            ntk.create_pi()
+        ntk.create_po(ntk.pis()[0])
+        with pytest.raises(ValueError):
+            ntk.simulate()
+
+
+class TestFanoutSubstitution:
+    def test_bounds_degree(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        for _ in range(5):
+            ntk.create_po(ntk.create_not(a))
+        out = ntk.substitute_fanout()
+        assert out.max_fanout_degree() <= 2
+
+    def test_regular_gates_drive_one_reader(self):
+        ntk = full_adder()
+        out = ntk.substitute_fanout()
+        for node in out.gates():
+            if node.gate_type is not GateType.FANOUT:
+                assert out.fanout_size(node.uid) <= 1, node
+
+    def test_preserves_function(self):
+        ntk = full_adder()
+        assert check_equivalence(ntk, ntk.substitute_fanout()).equivalent
+
+    def test_higher_degree(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        for _ in range(9):
+            ntk.create_po(ntk.create_buf(a))
+        out = ntk.substitute_fanout(max_degree=3)
+        for node in out.gates():
+            if node.gate_type is GateType.FANOUT:
+                assert out.fanout_size(node.uid) <= 3
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ValueError):
+            mux21().substitute_fanout(max_degree=1)
+
+
+class TestCleanupClone:
+    def test_cleanup_removes_dead_logic(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        ntk.create_not(a)  # dangling
+        ntk.create_po(a)
+        cleaned = ntk.cleanup_dangling()
+        assert cleaned.num_gates() == 0
+        assert cleaned.num_pis() == 1
+
+    def test_clone_is_equivalent_and_independent(self):
+        ntk = mux21()
+        copy = ntk.clone()
+        assert check_equivalence(ntk, copy).equivalent
+        copy.create_pi("extra")
+        assert copy.num_pis() == ntk.num_pis() + 1
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_networks_topologically_sound(self, seed):
+        spec = GeneratorSpec("p", 5, 2, 25, seed=seed)
+        ntk = generate_network(spec)
+        order = ntk.topological_order()
+        position = {uid: i for i, uid in enumerate(order)}
+        for uid in order:
+            for fanin in ntk.fanins(uid):
+                assert position[fanin] < position[uid]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_substitution_equivalence_random(self, seed):
+        spec = GeneratorSpec("p", 6, 3, 30, seed=seed)
+        ntk = generate_network(spec)
+        out = ntk.substitute_fanout()
+        assert out.max_fanout_degree() <= 2
+        assert check_equivalence(ntk, out).equivalent

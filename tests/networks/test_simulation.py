@@ -1,0 +1,86 @@
+"""Tests for simulation helpers and equivalence checking."""
+
+from repro.networks import (
+    LogicNetwork,
+    all_vectors,
+    check_equivalence,
+    output_signature,
+    random_vectors,
+)
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder, full_adder_maj, mux21
+
+
+def test_all_vectors_covers_space():
+    vectors = list(all_vectors(3))
+    assert len(vectors) == 8
+    assert len(set(vectors)) == 8
+
+
+def test_random_vectors_deterministic():
+    a = list(random_vectors(8, 16, seed=1))
+    b = list(random_vectors(8, 16, seed=1))
+    assert a == b
+    c = list(random_vectors(8, 16, seed=2))
+    assert a != c
+
+
+def test_equivalent_networks():
+    result = check_equivalence(full_adder(), full_adder_maj())
+    assert result.equivalent
+    assert result.checked_exhaustively
+    assert result.counterexample is None
+
+
+def test_inequivalent_networks_produce_counterexample():
+    a = LogicNetwork()
+    x, y = a.create_pi(), a.create_pi()
+    a.create_po(a.create_and(x, y))
+    b = LogicNetwork()
+    x, y = b.create_pi(), b.create_pi()
+    b.create_po(b.create_or(x, y))
+    result = check_equivalence(a, b)
+    assert not result.equivalent
+    assert result.counterexample is not None
+    # the counterexample must actually distinguish the two networks
+    assert a.evaluate(result.counterexample) != b.evaluate(result.counterexample)
+
+
+def test_interface_mismatch_is_inequivalent():
+    a = mux21()
+    b = full_adder()
+    assert not check_equivalence(a, b).equivalent
+
+
+def test_large_networks_sampled():
+    spec = GeneratorSpec("big", 20, 3, 60, seed=4)
+    a = generate_network(spec)
+    b = generate_network(spec)
+    result = check_equivalence(a, b, num_vectors=32)
+    assert result.equivalent
+    assert not result.checked_exhaustively
+    assert result.num_vectors >= 32
+
+
+def test_sampled_check_finds_gross_differences():
+    spec_a = GeneratorSpec("big", 20, 3, 60, seed=4)
+    spec_b = GeneratorSpec("big", 20, 3, 60, seed=5)
+    result = check_equivalence(generate_network(spec_a), generate_network(spec_b))
+    assert not result.equivalent
+
+
+def test_output_signature_stability():
+    assert output_signature(mux21()) == output_signature(mux21())
+    assert output_signature(mux21()) != output_signature(full_adder())
+
+
+def test_output_signature_large_network():
+    spec = GeneratorSpec("big", 20, 3, 60, seed=4)
+    a = output_signature(generate_network(spec))
+    b = output_signature(generate_network(spec))
+    assert a == b
+
+
+def test_result_truthiness():
+    result = check_equivalence(mux21(), mux21())
+    assert bool(result) is True

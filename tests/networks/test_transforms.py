@@ -1,0 +1,146 @@
+"""Tests for constant propagation, AOIG decomposition and layout prep."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.networks import (
+    GateType,
+    LogicNetwork,
+    check_equivalence,
+    decompose_to_aoig,
+    prepare_for_layout,
+    propagate_constants,
+)
+from repro.networks.generators import DEFAULT_GATE_MIX, GeneratorSpec, generate_network
+from repro.networks.library import full_adder_maj, mux21, xor5_majority
+
+AOIG_TYPES = {GateType.AND, GateType.OR, GateType.NOT, GateType.BUF, GateType.FANOUT}
+
+
+class TestPropagateConstants:
+    def test_removes_constant_fanins(self):
+        folded = propagate_constants(xor5_majority())
+        for node in folded.gates():
+            for fanin in node.fanins:
+                assert not folded.is_constant(fanin)
+
+    def test_preserves_function(self):
+        ntk = xor5_majority()
+        assert check_equivalence(ntk, propagate_constants(ntk)).equivalent
+
+    def test_maj_with_false_becomes_and(self):
+        ntk = LogicNetwork()
+        a, b = ntk.create_pi(), ntk.create_pi()
+        ntk.create_po(ntk.create_maj(a, b, ntk.get_constant(False)))
+        folded = propagate_constants(ntk)
+        types = {n.gate_type for n in folded.gates()}
+        assert types == {GateType.AND}
+
+    def test_maj_with_true_becomes_or(self):
+        ntk = LogicNetwork()
+        a, b = ntk.create_pi(), ntk.create_pi()
+        ntk.create_po(ntk.create_maj(a, b, ntk.get_constant(True)))
+        folded = propagate_constants(ntk)
+        assert {n.gate_type for n in folded.gates()} == {GateType.OR}
+
+    def test_xor_with_true_becomes_inverter(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        ntk.create_po(ntk.create_xor(a, ntk.get_constant(True)))
+        folded = propagate_constants(ntk)
+        assert {n.gate_type for n in folded.gates()} == {GateType.NOT}
+
+    def test_and_with_false_collapses(self):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        ntk.create_po(ntk.create_and(a, ntk.get_constant(False)))
+        folded = propagate_constants(ntk)
+        assert folded.po_signals() == [0]  # constant false
+
+    def test_mux_constant_select(self):
+        ntk = LogicNetwork()
+        a, b = ntk.create_pi(), ntk.create_pi()
+        ntk.create_po(ntk.create_mux(ntk.get_constant(True), a, b))
+        folded = propagate_constants(ntk)
+        assert folded.num_gates() == 0
+        assert folded.po_signals() == [folded.pis()[0]]
+
+    @pytest.mark.parametrize(
+        "gate,expected",
+        [
+            (GateType.NAND, True),
+            (GateType.NOR, False),
+        ],
+    )
+    def test_inverted_gates_with_false(self, gate, expected):
+        ntk = LogicNetwork()
+        a = ntk.create_pi()
+        uid = ntk.create_gate(gate, (a, ntk.get_constant(False)))
+        ntk.create_po(uid)
+        folded = propagate_constants(ntk)
+        assert check_equivalence(ntk, folded).equivalent
+
+
+class TestDecomposeToAoig:
+    def test_only_aoig_types_remain(self):
+        decomposed = decompose_to_aoig(full_adder_maj())
+        for node in decomposed.gates():
+            assert node.gate_type in AOIG_TYPES
+
+    def test_keep_two_input_retains_xor(self):
+        ntk = LogicNetwork()
+        a, b = ntk.create_pi(), ntk.create_pi()
+        ntk.create_po(ntk.create_xor(a, b))
+        kept = decompose_to_aoig(ntk, keep_two_input=True)
+        assert any(n.gate_type is GateType.XOR for n in kept.gates())
+        full = decompose_to_aoig(ntk)
+        assert all(n.gate_type is not GateType.XOR for n in full.gates())
+
+    def test_keep_two_input_still_removes_maj(self):
+        kept = decompose_to_aoig(full_adder_maj(), keep_two_input=True)
+        assert all(n.gate_type is not GateType.MAJ for n in kept.gates())
+
+    def test_preserves_function(self):
+        ntk = full_adder_maj()
+        assert check_equivalence(ntk, decompose_to_aoig(ntk)).equivalent
+
+    @pytest.mark.parametrize("gate", [GateType.NAND, GateType.NOR, GateType.XNOR])
+    def test_inverted_two_input_gates(self, gate):
+        ntk = LogicNetwork()
+        a, b = ntk.create_pi(), ntk.create_pi()
+        ntk.create_po(ntk.create_gate(gate, (a, b)))
+        assert check_equivalence(ntk, decompose_to_aoig(ntk)).equivalent
+
+    def test_mux_decomposition(self):
+        ntk = LogicNetwork()
+        s, t, e = (ntk.create_pi() for _ in range(3))
+        ntk.create_po(ntk.create_mux(s, t, e))
+        assert check_equivalence(ntk, decompose_to_aoig(ntk)).equivalent
+
+
+class TestPrepareForLayout:
+    def test_invariants(self):
+        prepared = prepare_for_layout(xor5_majority())
+        assert prepared.max_fanout_degree() <= 2
+        for node in prepared.gates():
+            for fanin in node.fanins:
+                assert not prepared.is_constant(fanin)
+
+    def test_preserves_function(self):
+        ntk = mux21()
+        assert check_equivalence(ntk, prepare_for_layout(ntk)).equivalent
+
+
+RICH_MIX = DEFAULT_GATE_MIX + ((GateType.MAJ, 0.1), (GateType.MUX, 0.1))
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_equivalence_random(self, seed):
+        spec = GeneratorSpec("p", 6, 2, 25, seed=seed, gate_mix=RICH_MIX)
+        ntk = generate_network(spec)
+        prepared = prepare_for_layout(decompose_to_aoig(ntk))
+        assert check_equivalence(ntk, prepared).equivalent
+        for node in prepared.gates():
+            assert node.gate_type in AOIG_TYPES

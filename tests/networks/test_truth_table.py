@@ -1,0 +1,185 @@
+"""Unit and property tests for bit-parallel truth tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.networks.truth_table import TruthTable
+
+
+def tables(num_vars=st.integers(min_value=0, max_value=6)):
+    return num_vars.flatmap(
+        lambda n: st.integers(min_value=0, max_value=(1 << (1 << n)) - 1).map(
+            lambda bits: TruthTable(n, bits)
+        )
+    )
+
+
+def pairs(max_vars=6):
+    return st.integers(min_value=0, max_value=max_vars).flatmap(
+        lambda n: st.tuples(
+            st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+            st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+        ).map(lambda bits: (TruthTable(n, bits[0]), TruthTable(n, bits[1])))
+    )
+
+
+class TestConstruction:
+    def test_constant_false(self):
+        tt = TruthTable.constant(False, 2)
+        assert tt.bits == 0
+        assert tt.is_constant()
+
+    def test_constant_true(self):
+        tt = TruthTable.constant(True, 2)
+        assert tt.bits == 0b1111
+        assert tt.is_constant()
+
+    def test_projection_var0(self):
+        tt = TruthTable.projection(0, 2)
+        assert list(tt.rows()) == [False, True, False, True]
+
+    def test_projection_var1(self):
+        tt = TruthTable.projection(1, 2)
+        assert list(tt.rows()) == [False, False, True, True]
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.projection(2, 2)
+
+    def test_from_rows(self):
+        tt = TruthTable.from_rows([0, 1, 1, 0])
+        assert tt.num_vars == 2
+        assert tt.bits == 0b0110
+
+    def test_from_rows_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_rows([0, 1, 1])
+
+    def test_from_rows_rejects_non_boolean(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_rows([0, 2, 1, 0])
+
+    def test_from_hex_roundtrip(self):
+        tt = TruthTable.from_hex("e8", 3)
+        assert tt.to_hex() == "e8"
+
+    def test_bits_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 0b10000)
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(21, 0)
+
+
+class TestRowAccess:
+    def test_get(self):
+        tt = TruthTable.from_rows([0, 1, 1, 0])
+        assert tt.get(1) and tt.get(2)
+        assert not tt.get(0) and not tt.get(3)
+
+    def test_get_out_of_range(self):
+        with pytest.raises(IndexError):
+            TruthTable.constant(False, 1).get(2)
+
+    def test_len(self):
+        assert len(TruthTable.constant(False, 3)) == 8
+
+    def test_count_ones(self):
+        assert TruthTable.from_rows([0, 1, 1, 0]).count_ones() == 2
+
+
+class TestOperators:
+    def test_and(self):
+        a = TruthTable.projection(0, 2)
+        b = TruthTable.projection(1, 2)
+        assert list((a & b).rows()) == [False, False, False, True]
+
+    def test_or(self):
+        a = TruthTable.projection(0, 2)
+        b = TruthTable.projection(1, 2)
+        assert list((a | b).rows()) == [False, True, True, True]
+
+    def test_xor(self):
+        a = TruthTable.projection(0, 2)
+        b = TruthTable.projection(1, 2)
+        assert list((a ^ b).rows()) == [False, True, True, False]
+
+    def test_invert(self):
+        a = TruthTable.projection(0, 1)
+        assert (~a).bits == 0b01
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(False, 1) & TruthTable.constant(False, 2)
+
+    def test_majority_truth(self):
+        a = TruthTable.projection(0, 3)
+        b = TruthTable.projection(1, 3)
+        c = TruthTable.projection(2, 3)
+        maj = TruthTable.majority(a, b, c)
+        assert maj.to_hex() == "e8"
+
+    def test_ite(self):
+        s = TruthTable.projection(2, 3)
+        t = TruthTable.projection(1, 3)
+        e = TruthTable.projection(0, 3)
+        mux = TruthTable.ite(s, t, e)
+        for row in range(8):
+            sel, then, orelse = bool(row >> 2 & 1), bool(row >> 1 & 1), bool(row & 1)
+            assert mux.get(row) == (then if sel else orelse)
+
+
+class TestQueries:
+    def test_depends_on(self):
+        tt = TruthTable.projection(0, 2)
+        assert tt.depends_on(0)
+        assert not tt.depends_on(1)
+
+    def test_support(self):
+        a = TruthTable.projection(0, 3)
+        c = TruthTable.projection(2, 3)
+        assert (a ^ c).support() == [0, 2]
+
+    def test_to_binary(self):
+        assert TruthTable.from_rows([0, 1, 1, 0]).to_binary() == "0110"
+
+
+class TestProperties:
+    @given(pairs())
+    def test_de_morgan(self, pair):
+        a, b = pair
+        assert ~(a & b) == (~a | ~b)
+
+    @given(pairs())
+    def test_xor_is_inequality(self, pair):
+        a, b = pair
+        assert (a ^ b) == ((a | b) & ~(a & b))
+
+    @given(tables())
+    def test_double_negation(self, tt):
+        assert ~~tt == tt
+
+    @given(tables())
+    def test_and_idempotent(self, tt):
+        assert (tt & tt) == tt
+
+    @given(pairs())
+    def test_majority_with_false_is_and(self, pair):
+        a, b = pair
+        false = TruthTable.constant(False, a.num_vars)
+        assert TruthTable.majority(a, b, false) == (a & b)
+
+    @given(pairs())
+    def test_majority_with_true_is_or(self, pair):
+        a, b = pair
+        true = TruthTable.constant(True, a.num_vars)
+        assert TruthTable.majority(a, b, true) == (a | b)
+
+    @given(tables())
+    def test_hex_roundtrip(self, tt):
+        assert TruthTable.from_hex(tt.to_hex(), tt.num_vars) == tt
+
+    @given(tables())
+    def test_count_ones_matches_rows(self, tt):
+        assert tt.count_ones() == sum(tt.rows())

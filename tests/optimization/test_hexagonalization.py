@@ -1,0 +1,124 @@
+"""Tests for the 45° hexagonalization mapping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import ROW, TWODDWAVE, GateLayout, Tile, Topology
+from repro.layout.coordinates import hex_adjacent
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder, mux21, ripple_carry_adder
+from repro.optimization import to_hexagonal
+from repro.optimization.hexagonalization import to_hexagonal as hex_fn
+from repro.physical_design import OrthoParams, orthogonal_layout
+from tests.conftest import assert_layout_good
+
+
+class TestMappingArithmetic:
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=200)
+    def test_adjacency_preserved(self, x, y, height):
+        """Cartesian east/south neighbours map to hex neighbours."""
+        k = height if height % 2 == 1 else height + 1
+
+        def mapped(px, py):
+            return Tile((px - py + k) // 2, px + py)
+
+        origin = mapped(x, y)
+        east = mapped(x + 1, y)
+        south = mapped(x, y + 1)
+        assert hex_adjacent(origin, east)
+        assert hex_adjacent(origin, south)
+        # Both land in the next row (the next ROW clock zone).
+        assert east.y == origin.y + 1
+        assert south.y == origin.y + 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=2,
+            max_size=40,
+            unique=True,
+        )
+    )
+    @settings(max_examples=100)
+    def test_mapping_injective(self, points):
+        k = 31  # odd, larger than max y
+        mapped = {((x - y + k) // 2, x + y) for x, y in points}
+        assert len(mapped) == len(points)
+
+
+class TestLayoutConversion:
+    @pytest.mark.parametrize(
+        "factory", [mux21, full_adder, lambda: ripple_carry_adder(2)]
+    )
+    def test_preserves_function_and_rules(self, factory):
+        net = factory()
+        cartesian = orthogonal_layout(net).layout
+        result = to_hexagonal(cartesian)
+        assert result.layout.topology is Topology.HEXAGONAL_EVEN_ROW
+        assert result.layout.scheme is ROW
+        assert_layout_good(result.layout, net)
+
+    def test_rows_equal_antidiagonals(self):
+        net = mux21()
+        cartesian = orthogonal_layout(net).layout
+        width, height = cartesian.bounding_box()
+        hexed = to_hexagonal(cartesian).layout
+        hex_width, hex_height = hexed.bounding_box()
+        assert hex_height == width + height - 1
+        assert hex_width <= (width + height) // 2 + 1
+
+    def test_statistics_reported(self):
+        cartesian = orthogonal_layout(mux21()).layout
+        result = to_hexagonal(cartesian)
+        cw, ch = cartesian.bounding_box()
+        assert result.cartesian_area == cw * ch
+        hw, hh = result.layout.bounding_box()
+        assert result.hexagonal_area == hw * hh
+
+    def test_crossings_preserved(self):
+        net = full_adder()
+        cartesian = orthogonal_layout(net).layout
+        hexed = to_hexagonal(cartesian).layout
+        assert hexed.num_crossings() == cartesian.num_crossings()
+
+    def test_interface_order_preserved(self):
+        net = full_adder()
+        cartesian = orthogonal_layout(net).layout
+        hexed = to_hexagonal(cartesian).layout
+        cart_names = [cartesian.get(t).name for t in cartesian.pis()]
+        hex_names = [hexed.get(t).name for t in hexed.pis()]
+        assert cart_names == hex_names
+
+
+class TestPreconditions:
+    def test_rejects_non_2ddwave(self):
+        from repro.layout import USE
+
+        lay = GateLayout(4, 4, USE)
+        lay.create_pi(Tile(0, 0))
+        with pytest.raises(ValueError, match="2DDWave"):
+            hex_fn(lay)
+
+    def test_rejects_hexagonal_input(self):
+        cartesian = orthogonal_layout(mux21()).layout
+        hexed = to_hexagonal(cartesian).layout
+        with pytest.raises(ValueError, match="Cartesian"):
+            hex_fn(hexed)
+
+
+class TestRandomised:
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_networks(self, seed):
+        net = generate_network(GeneratorSpec("h", 5, 2, 30, seed=seed))
+        cartesian = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        result = to_hexagonal(cartesian)
+        assert_layout_good(result.layout, net)

@@ -1,0 +1,57 @@
+"""Tests for the input-ordering (InOrd/SDN) optimisation."""
+
+import pytest
+
+from repro.networks.library import full_adder, mux21, one_bit_mux_tree
+from repro.optimization import InputOrderingParams, input_ordering, structural_order
+from tests.conftest import assert_layout_good
+
+
+class TestStructuralOrder:
+    def test_is_permutation(self):
+        net = full_adder()
+        order = structural_order(net)
+        assert sorted(order) == list(range(net.num_pis()))
+
+    def test_deterministic(self):
+        assert structural_order(full_adder()) == structural_order(full_adder())
+
+
+class TestSearch:
+    def test_never_worse_than_identity(self):
+        net = one_bit_mux_tree(2, "mux41")
+        result = input_ordering(net, InputOrderingParams(max_evaluations=8, timeout=20))
+        assert result.area_best <= result.area_identity
+        assert result.improvement >= 0
+
+    def test_result_verifies(self):
+        net = one_bit_mux_tree(2, "mux41")
+        result = input_ordering(net, InputOrderingParams(max_evaluations=8, timeout=20))
+        assert_layout_good(result.layout, net)
+
+    def test_winning_order_is_permutation(self):
+        net = full_adder()
+        result = input_ordering(net, InputOrderingParams(max_evaluations=6, timeout=15))
+        assert sorted(result.pi_order) == list(range(net.num_pis()))
+
+    def test_evaluation_budget_respected(self):
+        net = mux21()
+        result = input_ordering(net, InputOrderingParams(max_evaluations=3, timeout=15))
+        assert result.evaluations <= 3
+
+    def test_single_pi_network(self):
+        from repro.networks import LogicNetwork
+
+        ntk = LogicNetwork("inv")
+        a = ntk.create_pi("a")
+        ntk.create_po(ntk.create_not(a), "f")
+        result = input_ordering(ntk, InputOrderingParams(max_evaluations=4, timeout=10))
+        assert result.pi_order == [0]
+        assert_layout_good(result.layout, ntk)
+
+    def test_finds_improvement_on_reversed_sensitivity(self):
+        # The mux tree is highly order-sensitive; the search should beat
+        # the identity order.
+        net = one_bit_mux_tree(2, "mux41")
+        result = input_ordering(net, InputOrderingParams(max_evaluations=10, timeout=30))
+        assert result.area_best < result.area_identity

@@ -1,0 +1,81 @@
+"""Tests for the wiring-reduction pass."""
+
+import pytest
+
+from repro.layout import GateLayout, ROW, TWODDWAVE, Tile, compute_metrics
+from repro.networks import GateType
+from repro.networks.library import full_adder, mux21, ripple_carry_adder
+from repro.optimization import post_layout_optimization, wiring_reduction
+from repro.physical_design import OrthoParams, orthogonal_layout
+from tests.conftest import assert_layout_good
+
+
+def hand_layout_with_highway():
+    """PI → 3 vertical wires → PO: rows 2 and 3 are pure pass-throughs."""
+    lay = GateLayout(2, 6, TWODDWAVE, name="highway")
+    a = lay.create_pi(Tile(0, 0), "a")
+    w = a
+    for y in range(1, 5):
+        w = lay.create_wire(Tile(0, y), w)
+    lay.create_po(Tile(0, 5), w, "f")
+    return lay
+
+
+class TestDeletion:
+    def test_highway_rows_removed(self):
+        lay = hand_layout_with_highway()
+        result = wiring_reduction(lay)
+        assert result.rows_deleted == 4
+        assert result.layout.height == 2
+        assert result.layout.num_wires() == 0
+
+    def test_original_untouched(self):
+        lay = hand_layout_with_highway()
+        wiring_reduction(lay)
+        assert lay.num_wires() == 4
+
+    def test_function_preserved(self):
+        from repro.networks import LogicNetwork
+
+        spec = LogicNetwork("highway")
+        a = spec.create_pi("a")
+        spec.create_po(a, "f")
+        result = wiring_reduction(hand_layout_with_highway())
+        assert_layout_good(result.layout, spec)
+
+    def test_gate_rows_not_removed(self, and_layout):
+        layout, spec = and_layout
+        result = wiring_reduction(layout)
+        assert result.rows_deleted == 0
+        assert result.columns_deleted == 0
+        assert_layout_good(result.layout, spec)
+
+
+class TestOnGeneratedLayouts:
+    @pytest.mark.parametrize(
+        "factory", [mux21, full_adder, lambda: ripple_carry_adder(2)]
+    )
+    def test_after_plo(self, factory):
+        net = factory()
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        optimised = post_layout_optimization(layout).layout
+        before = compute_metrics(optimised).area
+        result = wiring_reduction(optimised)
+        assert result.area_after <= before
+        assert_layout_good(result.layout, net)
+
+    def test_statistics(self):
+        net = ripple_carry_adder(2)
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        optimised = post_layout_optimization(layout).layout
+        result = wiring_reduction(optimised)
+        assert result.area_before >= result.area_after
+        assert 0.0 <= result.area_reduction <= 1.0
+
+
+class TestPreconditions:
+    def test_non_2ddwave_rejected(self):
+        lay = GateLayout(4, 4, ROW)
+        lay.create_pi(Tile(0, 0))
+        with pytest.raises(ValueError, match="2DDWave"):
+            wiring_reduction(lay)

@@ -1,0 +1,56 @@
+"""Tests for the NanoPlaceR-style stochastic placement."""
+
+import pytest
+
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder, mux21, parity_checker
+from repro.physical_design import (
+    NanoPlaceRParams,
+    NanoPlaceRScaleError,
+    nanoplacer_layout,
+)
+from tests.conftest import assert_layout_good
+
+
+class TestBasics:
+    @pytest.mark.parametrize("factory", [mux21, full_adder, lambda: parity_checker(4)])
+    def test_produces_valid_layouts(self, factory):
+        net = factory()
+        result = nanoplacer_layout(net, NanoPlaceRParams(timeout=5, max_rollouts=8))
+        assert result.succeeded
+        assert_layout_good(result.layout, net)
+
+    def test_determinism(self):
+        net = full_adder()
+        params = NanoPlaceRParams(seed=7, timeout=5, max_rollouts=6)
+        a = nanoplacer_layout(net, params)
+        b = nanoplacer_layout(net, params)
+        assert a.layout.bounding_box() == b.layout.bounding_box()
+        assert a.best_rollout == b.best_rollout
+
+    def test_rollout_statistics(self):
+        result = nanoplacer_layout(mux21(), NanoPlaceRParams(timeout=5, max_rollouts=5))
+        assert 1 <= result.rollouts <= 5
+        assert 0 <= result.best_rollout < result.rollouts
+
+    def test_more_rollouts_never_worse(self):
+        net = full_adder()
+        one = nanoplacer_layout(net, NanoPlaceRParams(seed=3, max_rollouts=1, timeout=5))
+        many = nanoplacer_layout(net, NanoPlaceRParams(seed=3, max_rollouts=12, timeout=20))
+        w1, h1 = one.layout.bounding_box()
+        w2, h2 = many.layout.bounding_box()
+        assert w2 * h2 <= w1 * h1
+
+
+class TestScalingEnvelope:
+    def test_large_networks_rejected(self):
+        big = generate_network(GeneratorSpec("big", 10, 4, 400, seed=0))
+        with pytest.raises(NanoPlaceRScaleError):
+            nanoplacer_layout(big, NanoPlaceRParams(max_gates=100))
+
+    def test_envelope_configurable(self):
+        net = generate_network(GeneratorSpec("m", 6, 2, 60, seed=0))
+        result = nanoplacer_layout(
+            net, NanoPlaceRParams(max_gates=500, timeout=10, max_rollouts=2)
+        )
+        assert result.succeeded

@@ -1,0 +1,140 @@
+"""Tests for the scalable ortho physical design algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import TWODDWAVE, Topology, check_layout, layout_equivalent
+from repro.networks import GateType
+from repro.networks.generators import DEFAULT_GATE_MIX, GeneratorSpec, generate_network
+from repro.networks.library import (
+    full_adder,
+    full_adder_maj,
+    mux21,
+    one_bit_mux_tree,
+    parity_generator,
+    ripple_carry_adder,
+    xor5_majority,
+)
+from repro.physical_design import OrthoParams, orthogonal_layout
+from tests.conftest import assert_layout_good
+
+FUNCTIONS = [
+    mux21,
+    full_adder,
+    full_adder_maj,
+    xor5_majority,
+    lambda: parity_generator(4),
+    lambda: ripple_carry_adder(2),
+    lambda: one_bit_mux_tree(2, "mux41"),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("factory", FUNCTIONS)
+    def test_compact_first(self, factory):
+        net = factory()
+        result = orthogonal_layout(net)
+        assert_layout_good(result.layout, net)
+
+    @pytest.mark.parametrize("factory", FUNCTIONS)
+    def test_sparse_only(self, factory):
+        net = factory()
+        result = orthogonal_layout(net, OrthoParams(compact=False))
+        assert result.mode == "sparse"
+        assert_layout_good(result.layout, net)
+
+    def test_layout_is_2ddwave_cartesian(self):
+        result = orthogonal_layout(mux21())
+        assert result.layout.scheme is TWODDWAVE
+        assert result.layout.topology is Topology.CARTESIAN
+
+    def test_pis_on_west_border(self):
+        result = orthogonal_layout(full_adder(), OrthoParams(compact=False))
+        for pi in result.layout.pis():
+            assert pi.x == 0
+
+    def test_gate_count_preserved(self):
+        net = mux21()
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        extracted = layout.extract_network()
+        # Buffers aside, the logic content matches the AOIG of the input.
+        logic = [n for n in extracted.gates() if n.gate_type not in
+                 (GateType.BUF, GateType.FANOUT)]
+        assert len(logic) >= net.num_gates()
+
+
+class TestPiOrder:
+    def test_custom_order_preserves_interface(self):
+        net = mux21()
+        result = orthogonal_layout(net, OrthoParams(pi_order=[2, 0, 1], compact=False))
+        assert_layout_good(result.layout, net)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            orthogonal_layout(mux21(), OrthoParams(pi_order=[0, 0, 1]))
+
+
+class TestScaling:
+    def test_linear_shape(self):
+        # Sparse mode: width + height grows linearly with network size.
+        small = generate_network(GeneratorSpec("s", 6, 2, 40, seed=1))
+        large = generate_network(GeneratorSpec("l", 6, 2, 160, seed=1))
+        dims_small = orthogonal_layout(small, OrthoParams(compact=False)).layout
+        dims_large = orthogonal_layout(large, OrthoParams(compact=False)).layout
+        sum_small = dims_small.width + dims_small.height
+        sum_large = dims_large.width + dims_large.height
+        assert sum_large < 6 * sum_small
+
+    def test_medium_network_fast(self):
+        net = generate_network(GeneratorSpec("m", 10, 4, 300, seed=2))
+        result = orthogonal_layout(net, OrthoParams(compact=False))
+        assert result.runtime_seconds < 10
+        assert check_layout(result.layout).ok
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_networks_sparse(self, seed):
+        mix = DEFAULT_GATE_MIX + ((GateType.MAJ, 0.06), (GateType.MUX, 0.06))
+        net = generate_network(GeneratorSpec("r", 6, 3, 45, seed=seed, gate_mix=mix))
+        result = orthogonal_layout(net, OrthoParams(compact=False))
+        assert_layout_good(result.layout, net)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_random_networks_compact(self, seed):
+        net = generate_network(GeneratorSpec("r", 5, 2, 25, seed=seed))
+        result = orthogonal_layout(net)
+        assert_layout_good(result.layout, net)
+
+
+class TestAdoption:
+    """The row/column adoption discipline of sparse mode."""
+
+    def test_chain_stays_narrow(self):
+        # A pure chain adopts its driver's row end to end: the layout
+        # height is bounded by the PI count, the width by the gate count.
+        from repro.networks.library import and_or_chain
+
+        net = and_or_chain(12)
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        assert layout.height <= net.num_pis() + 1
+        assert layout.width <= net.num_gates() + 4
+
+    def test_linear_area_shape(self):
+        # With adoption, w + h stays well under the two-rows-and-columns
+        # per gate of the naive diagonal discipline.
+        net = generate_network(GeneratorSpec("a", 8, 3, 200, seed=3, locality=0.5))
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        prepared_bound = 2 * (net.num_gates() * 3 + net.num_pis())
+        assert layout.width + layout.height < prepared_bound
+
+    def test_entry_sides_distinct(self):
+        from repro.networks.library import ripple_carry_adder
+
+        net = ripple_carry_adder(3)
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        for tile, gate in layout.tiles():
+            grounds = [f.ground for f in gate.fanins]
+            assert len(set(grounds)) == len(grounds)
