@@ -1,0 +1,165 @@
+"""Micro-harness: word-level vs per-vector simulation, serial vs
+parallel and cached database generation.
+
+Times the two equivalence-checking engines on a 256-vector check of a
+200+-node network, plus serial, parallel and cache-hit database
+generation over a deterministic flow subset, and writes the numbers to
+``BENCH_simulation.json`` at the repository root so future PRs have a
+perf trajectory to compare against.
+
+Runnable standalone (``python benchmarks/bench_simulation.py``) or under
+``pytest benchmarks/bench_simulation.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import BenchmarkDatabase, GenerationParams
+from repro.networks import check_equivalence, generate_network, GeneratorSpec
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_simulation.json"
+
+#: The acceptance floor: word-level must beat per-vector by this factor.
+REQUIRED_SPEEDUP = 10.0
+
+#: Deterministic generation subset (no wall-clock-budget-driven flows).
+#: The optimisation passes (InOrd + PLO) carry the compute so that the
+#: process pool has real work to amortise its startup cost against.
+GEN_PARAMS = GenerationParams(
+    exact_max_elements=0,
+    nanoplacer_max_gates=0,
+    inord_evaluations=5,
+    inord_timeout=120.0,
+    plo_timeout=120.0,
+    node_cap=60,
+)
+GEN_SPECS = (
+    ("trindade16", "mux21"),
+    ("trindade16", "xor2"),
+    ("trindade16", "par_gen"),
+    ("trindade16", "par_check"),
+    ("trindade16", "full_adder"),
+    ("fontes18", "newtag"),
+    ("fontes18", "clpl"),
+)
+
+
+def _simulation_workload():
+    """Two equivalent 200+-node networks over 20 inputs (sampled path)."""
+    spec = GeneratorSpec("simbench", 20, 4, 220, seed=9, locality=0.5)
+    a, b = generate_network(spec), generate_network(spec)
+    assert a.num_gates() >= 200
+    return a, b
+
+
+def _best_of(repeats: int, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_equivalence(num_vectors: int = 256, repeats: int = 3) -> dict:
+    a, b = _simulation_workload()
+    scalar = _best_of(
+        repeats, lambda: check_equivalence(a, b, num_vectors, engine="scalar")
+    )
+    words = _best_of(repeats, lambda: check_equivalence(a, b, num_vectors))
+    assert check_equivalence(a, b, num_vectors).equivalent
+    return {
+        "network_nodes": a.num_gates(),
+        "num_inputs": a.num_pis(),
+        "num_vectors": num_vectors,
+        "scalar_seconds": scalar,
+        "words_seconds": words,
+        "speedup": scalar / words if words else float("inf"),
+    }
+
+
+def bench_generation(tmp_root: Path, jobs: int = 4) -> dict:
+    specs = [get_benchmark(suite, name) for suite, name in GEN_SPECS]
+
+    serial_db = BenchmarkDatabase(tmp_root / "serial")
+    started = time.perf_counter()
+    serial = serial_db.generate(specs, params=GEN_PARAMS)
+    serial_seconds = time.perf_counter() - started
+
+    parallel_db = BenchmarkDatabase(tmp_root / "parallel")
+    started = time.perf_counter()
+    parallel = parallel_db.generate(specs, params=replace(GEN_PARAMS, jobs=jobs))
+    parallel_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cached = serial_db.generate(specs, params=GEN_PARAMS)
+    cached_seconds = time.perf_counter() - started
+
+    return {
+        "specs": ["/".join(s) for s in GEN_SPECS],
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "flows_executed": serial.report.executed_flows,
+        "records_admitted": serial.report.admitted,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": serial_seconds / parallel_seconds
+        if parallel_seconds
+        else float("inf"),
+        "cached_seconds": cached_seconds,
+        "cached_flows_executed": cached.report.executed_flows,
+        "parallel_admitted_matches_serial": parallel.report.admitted
+        == serial.report.admitted,
+    }
+
+
+def run_all(tmp_root: Path) -> dict:
+    results = {
+        "equivalence": bench_equivalence(),
+        "generation": bench_generation(tmp_root),
+    }
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    return results
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_word_level_speedup(benchmark, tmp_path):
+    results = benchmark.pedantic(run_all, args=(tmp_path,), rounds=1, iterations=1)
+    eq = results["equivalence"]
+    assert eq["speedup"] >= REQUIRED_SPEEDUP, (
+        f"word-level engine only {eq['speedup']:.1f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+    assert results["generation"]["cached_flows_executed"] == 0
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    results = run_all(Path(tempfile.mkdtemp(prefix="mnt_bench_sim_")))
+    eq, gen = results["equivalence"], results["generation"]
+    print(
+        f"equivalence ({eq['network_nodes']} nodes, {eq['num_vectors']} vectors): "
+        f"scalar {eq['scalar_seconds']*1e3:.1f} ms, "
+        f"words {eq['words_seconds']*1e3:.1f} ms — {eq['speedup']:.1f}x"
+    )
+    print(
+        f"generation ({gen['flows_executed']} flows): "
+        f"serial {gen['serial_seconds']:.2f} s, "
+        f"parallel(jobs={gen['jobs']}, {gen['cpu_count']} cpus) "
+        f"{gen['parallel_seconds']:.2f} s ({gen['parallel_speedup']:.2f}x), "
+        f"cached re-run {gen['cached_seconds']:.3f} s "
+        f"({gen['cached_flows_executed']} flows re-executed)"
+    )
+    print(f"written to {RESULT_PATH}")

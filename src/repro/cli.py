@@ -59,13 +59,19 @@ def _specs_from(args):
 def _cmd_generate(args) -> int:
     db = BenchmarkDatabase(args.database)
     specs = _specs_from(args)
-    params = GenerationParams(node_cap=args.node_cap, exact_timeout=args.exact_timeout)
+    params = GenerationParams(
+        node_cap=args.node_cap,
+        exact_timeout=args.exact_timeout,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
     libraries = tuple(args.library) if args.library else ("QCA ONE", "Bestagon")
     created = db.generate(specs, libraries=libraries, params=params)
     for record in created:
         area = f"A={record.area}" if record.area is not None else ""
         print(f"wrote {record.path} {area}")
     print(f"{len(created)} artifact(s) written to {args.database}")
+    print(created.report.summary())
     return 0
 
 
@@ -144,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--library", action="append", choices=["QCA ONE", "Bestagon"])
     gen.add_argument("--node-cap", type=int, default=300)
     gen.add_argument("--exact-timeout", type=float, default=6.0)
+    gen.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for flow execution (1: in-process)",
+    )
+    gen.add_argument(
+        "--no-cache", action="store_true",
+        help="re-run flows even when the index flow cache has results",
+    )
 
     query = sub.add_parser("query", help="filter generated artifacts")
     query.add_argument("--database", default="mnt_bench_db")

@@ -1,6 +1,13 @@
 """MNT Bench core: benchmark database, selection, best-layout portfolio."""
 
-from .bench import BenchmarkDatabase, BenchmarkFile, GenerationParams
+from .bench import (
+    BenchmarkDatabase,
+    BenchmarkFile,
+    FlowTask,
+    GenerationOutcome,
+    GenerationParams,
+    GenerationReport,
+)
 from .best import BESTAGON, QCA_ONE, BestParams, BestResult, FlowCandidate, best_layout
 from .paper_data import BESTAGON_TABLE, QCA_ONE_TABLE, PaperEntry, paper_entry
 from .selection import (
@@ -25,8 +32,11 @@ __all__ = [
     "BestResult",
     "CLOCKING_SCHEMES",
     "FlowCandidate",
+    "FlowTask",
     "GATE_LIBRARIES",
+    "GenerationOutcome",
     "GenerationParams",
+    "GenerationReport",
     "OPTIMIZATIONS",
     "PaperEntry",
     "QCA_ONE",

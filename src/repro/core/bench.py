@@ -16,13 +16,24 @@ local filesystem:
   like the web form does, and
 * every generated layout is design-rule-checked and functionally
   verified against its specification network before it enters the index.
+
+Generation is organised as independent **flow tasks** — picklable
+descriptions of one (benchmark × flow) unit of work, each carrying the
+specification as Verilog text.  With ``GenerationParams.jobs > 1`` the
+tasks fan out across a :class:`concurrent.futures.ProcessPoolExecutor`;
+``jobs=1`` runs the identical task functions in-process for
+debuggability.  A **flow-result cache** keyed by (network signature,
+flow, params hash) lives inside the JSON index, so re-generating a
+database skips already-verified layouts entirely.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..benchsuite.registry import BenchmarkSpec
@@ -31,8 +42,9 @@ from ..layout.coordinates import Topology
 from ..layout.equivalence import verify_layout
 from ..layout.gate_layout import GateLayout
 from ..networks.logic_network import LogicNetwork
-from ..networks.verilog import write_verilog
-from ..io.fgl import read_fgl, write_fgl
+from ..networks.simulation import output_signature
+from ..networks.verilog import network_to_verilog, parse_verilog, write_verilog
+from ..io.fgl import layout_to_fgl, read_fgl
 from ..optimization.hexagonalization import to_hexagonal
 from ..optimization.input_ordering import InputOrderingParams, input_ordering
 from ..optimization.post_layout import PostLayoutParams, post_layout_optimization
@@ -42,7 +54,7 @@ from ..physical_design.nanoplacer import (
     NanoPlaceRScaleError,
     nanoplacer_layout,
 )
-from ..physical_design.ortho import OrthoError, OrthoParams, orthogonal_layout
+from ..physical_design.ortho import OrthoError, orthogonal_layout
 from .selection import AbstractionLevel, Selection
 
 #: Short library tags used in file names, like the upstream site.
@@ -126,6 +138,276 @@ class GenerationParams:
     #: Node cap for synthetic circuits (None: full published size).
     node_cap: int | None = 300
     verify_vectors: int = 64
+    #: Worker processes for flow execution; 1 runs everything in-process.
+    jobs: int = 1
+    #: Reuse flow results recorded in the index's flow cache.
+    use_cache: bool = True
+
+    def cache_fields(self) -> dict:
+        """The parameter subset that affects flow *results* (not how or
+        whether they are executed), i.e. the cache-key contribution."""
+        data = asdict(self)
+        data.pop("jobs")
+        data.pop("use_cache")
+        return data
+
+
+@dataclass
+class GenerationReport:
+    """Per-``generate`` observability: what happened to every flow.
+
+    ``flow_seconds`` maps ``"<suite>/<name>:<flow>"`` to the wall time
+    the flow task took (cache hits are not re-timed and keep their
+    original record runtimes instead).
+    """
+
+    admitted: int = 0
+    drc_failed: int = 0
+    inequivalent: int = 0
+    #: Flows that produced no candidate layout (scale refusals, timeouts).
+    no_layout: int = 0
+    skipped_cached: int = 0
+    flow_seconds: dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def executed_flows(self) -> int:
+        return len(self.flow_seconds)
+
+    def summary(self) -> str:
+        return (
+            f"{self.admitted} admitted, {self.drc_failed} DRC-failed, "
+            f"{self.inequivalent} inequivalent, {self.no_layout} without layout, "
+            f"{self.skipped_cached} cache hits "
+            f"({self.executed_flows} flows executed in {self.wall_seconds:.1f}s)"
+        )
+
+
+class GenerationOutcome(list):
+    """The records created by one ``generate`` call plus its report.
+
+    Behaves exactly like the plain ``list[BenchmarkFile]`` older callers
+    expect while carrying the :class:`GenerationReport` alongside.
+    """
+
+    def __init__(self, records, report: GenerationReport) -> None:
+        super().__init__(records)
+        self.report = report
+
+
+# -- flow tasks ----------------------------------------------------------------
+#
+# A flow task is self-contained and picklable: the specification network
+# travels as Verilog text (the very artifact the database distributes),
+# so worker processes need no registry state.  Each task runs one flow,
+# verifies every candidate it produces (DRC + word-level equivalence)
+# and returns serialised layouts; only the parent touches the filesystem.
+
+
+@dataclass(frozen=True)
+class FlowTask:
+    """One picklable (benchmark × flow) unit of generation work."""
+
+    suite: str
+    name: str
+    flow: str
+    verilog: str
+    params: GenerationParams
+
+
+@dataclass(frozen=True)
+class FlowArtifact:
+    """One verified candidate layout produced by a flow task."""
+
+    status: str  # "admitted" | "drc_failed" | "inequivalent"
+    library: str
+    algorithm: str
+    scheme: str
+    optimizations: tuple[str, ...]
+    runtime_seconds: float
+    fgl_text: str | None = None
+    width: int | None = None
+    height: int | None = None
+    num_gates: int | None = None
+    num_wires: int | None = None
+    num_crossings: int | None = None
+    reason: str | None = None
+
+
+@dataclass(frozen=True)
+class FlowTaskResult:
+    """Everything a flow task hands back to the parent process."""
+
+    flow: str
+    candidates: tuple[FlowArtifact, ...]
+    wall_seconds: float
+
+
+def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
+    """Produce the raw (layout, algorithm, scheme, opts, runtime) tuples
+    of one named flow; an empty list when the flow yields no layout."""
+    if flow == "ortho":
+        try:
+            result = orthogonal_layout(network)
+        except OrthoError:
+            return []
+        return [(result.layout, "ortho", "2DDWave", (), result.runtime_seconds)]
+    if flow == "ortho_opt":
+        try:
+            inord = input_ordering(
+                network,
+                InputOrderingParams(
+                    max_evaluations=params.inord_evaluations,
+                    timeout=params.inord_timeout,
+                ),
+            )
+        except OrthoError:
+            return []
+        plo = post_layout_optimization(
+            inord.layout.clone(),
+            PostLayoutParams(max_passes=params.plo_passes, timeout=params.plo_timeout),
+        )
+        return [
+            (
+                plo.layout,
+                "ortho",
+                "2DDWave",
+                ("InOrd (SDN)", "PLO"),
+                inord.runtime_seconds + plo.runtime_seconds,
+            )
+        ]
+    if flow == "npr":
+        try:
+            result = nanoplacer_layout(
+                network,
+                NanoPlaceRParams(
+                    timeout=params.nanoplacer_timeout,
+                    max_gates=params.nanoplacer_max_gates,
+                ),
+            )
+        except NanoPlaceRScaleError:
+            return []
+        if result.layout is None:
+            return []
+        return [(result.layout, "NPR", "2DDWave", (), result.runtime_seconds)]
+    if flow.startswith("exact:"):
+        scheme_name = flow.split(":", 1)[1]
+        scheme = next(s for s in CARTESIAN_SCHEMES if s.name == scheme_name)
+        result = exact_layout(
+            network,
+            ExactParams(
+                scheme=scheme,
+                timeout=params.exact_timeout,
+                ratio_timeout=params.exact_ratio_timeout,
+            ),
+        )
+        if result.layout is None:
+            return []
+        return [(result.layout, "exact", scheme.name, (), result.runtime_seconds)]
+    if flow == "exact_hex":
+        result = exact_layout(
+            network,
+            ExactParams(
+                scheme=ROW,
+                topology=Topology.HEXAGONAL_EVEN_ROW,
+                timeout=params.exact_timeout,
+                ratio_timeout=params.exact_ratio_timeout,
+                keep_two_input=True,
+            ),
+        )
+        if result.layout is None:
+            return []
+        return [(result.layout, "exact", "ROW", (), result.runtime_seconds)]
+    if flow.startswith("hex:"):
+        base = flow.split(":", 1)[1]
+        if base == "exact":
+            base = "exact:2DDWave"
+        produced = []
+        for layout, algorithm, scheme, opts, runtime in _run_flow(network, base, params):
+            if scheme != "2DDWave" or layout.topology is not Topology.CARTESIAN:
+                continue
+            hexed = to_hexagonal(layout)
+            produced.append(
+                (
+                    hexed.layout,
+                    algorithm,
+                    "ROW",
+                    opts + ("45°",),
+                    runtime + hexed.runtime_seconds,
+                )
+            )
+        return produced
+    raise ValueError(f"unknown flow {flow!r}")
+
+
+def _execute_flow_task(task: FlowTask) -> FlowTaskResult:
+    """Run one flow task: build, place, verify, serialise.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; also the
+    single code path the serial mode uses, guaranteeing both modes make
+    identical decisions.
+    """
+    started = time.monotonic()
+    network = parse_verilog(task.verilog)
+    network.name = task.name
+    candidates: list[FlowArtifact] = []
+    for layout, algorithm, scheme, opts, runtime in _run_flow(
+        network, task.flow, task.params
+    ):
+        drc, equivalence = verify_layout(
+            layout, network, num_vectors=task.params.verify_vectors
+        )
+        library = (
+            "Bestagon" if layout.topology is Topology.HEXAGONAL_EVEN_ROW else "QCA ONE"
+        )
+        if not drc.ok:
+            candidates.append(
+                FlowArtifact(
+                    "drc_failed", library, algorithm, scheme, opts, runtime,
+                    reason=drc.violations[0] if drc.violations else "DRC failed",
+                )
+            )
+            continue
+        if not equivalence.equivalent:
+            reason = equivalence.reason or f"counterexample {equivalence.counterexample}"
+            candidates.append(
+                FlowArtifact(
+                    "inequivalent", library, algorithm, scheme, opts, runtime,
+                    reason=reason,
+                )
+            )
+            continue
+        width, height = layout.bounding_box()
+        candidates.append(
+            FlowArtifact(
+                "admitted",
+                library,
+                algorithm,
+                scheme,
+                opts,
+                runtime,
+                fgl_text=layout_to_fgl(layout),
+                width=width,
+                height=height,
+                num_gates=layout.num_gates(),
+                num_wires=layout.num_wires(),
+                num_crossings=layout.num_crossings(),
+            )
+        )
+    return FlowTaskResult(task.flow, tuple(candidates), time.monotonic() - started)
+
+
+def _execute_tasks(tasks: list[FlowTask], jobs: int) -> list[FlowTaskResult]:
+    """Run flow tasks serially or across a process pool, order-preserving."""
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_execute_flow_task(t) for t in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_execute_flow_task, tasks))
+    except (OSError, RuntimeError):
+        # Pool creation can fail in constrained environments; the serial
+        # path computes the identical results.
+        return [_execute_flow_task(t) for t in tasks]
 
 
 class BenchmarkDatabase:
@@ -137,6 +419,7 @@ class BenchmarkDatabase:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._records: list[BenchmarkFile] = []
+        self._flow_cache: dict[str, dict] = {}
         self._load_index()
 
     # -- persistence ----------------------------------------------------------
@@ -149,15 +432,24 @@ class BenchmarkDatabase:
         if path.exists():
             data = json.loads(path.read_text(encoding="utf-8"))
             self._records = [BenchmarkFile.from_json(r) for r in data.get("files", [])]
+            self._flow_cache = data.get("flow_cache", {})
 
     def _save_index(self) -> None:
         data = {"files": [r.to_json() for r in self._records]}
+        if self._flow_cache:
+            data["flow_cache"] = self._flow_cache
         self._index_path().write_text(json.dumps(data, indent=2), encoding="utf-8")
 
     # -- queries -----------------------------------------------------------------
 
     def files(self) -> list[BenchmarkFile]:
         return list(self._records)
+
+    @staticmethod
+    def _area_rank(record: BenchmarkFile) -> tuple[bool, int]:
+        """Sort key treating only ``None`` as missing — a legitimate
+        ``area == 0`` must rank best, not as absent."""
+        return (record.area is None, record.area if record.area is not None else 0)
 
     def query(self, selection: Selection) -> list[BenchmarkFile]:
         """All records passing the filter, area-best first per function."""
@@ -169,12 +461,12 @@ class BenchmarkDatabase:
                     continue
                 key = (record.suite, record.name, record.gate_library)
                 current = best.get(key)
-                if current is None or (record.area or 1 << 60) < (current.area or 1 << 60):
+                if current is None or self._area_rank(record) < self._area_rank(current):
                     best[key] = record
             hits = list(best.values())
         return sorted(
             hits,
-            key=lambda r: (r.suite, r.name, r.abstraction_level.value, r.area or 0),
+            key=lambda r: (r.suite, r.name, r.abstraction_level.value, self._area_rank(r)),
         )
 
     def load_layout(self, record: BenchmarkFile) -> GateLayout:
@@ -190,30 +482,134 @@ class BenchmarkDatabase:
         specs: list[BenchmarkSpec],
         libraries: tuple[str, ...] = ("QCA ONE", "Bestagon"),
         params: GenerationParams | None = None,
-    ) -> list[BenchmarkFile]:
+    ) -> GenerationOutcome:
         """Generate artifacts for ``specs`` and add them to the index.
 
-        Returns the records created in this call.  Layouts that fail
-        verification are *not* admitted (matching the upstream quality
-        gate); the failure is silently skipped because the portfolio in
-        :mod:`repro.core.best` reports such diagnostics interactively.
+        Returns a :class:`GenerationOutcome` — a list of the records
+        created (or served from the flow cache) by this call, carrying a
+        :class:`GenerationReport` with per-flow admission/rejection
+        counts and wall times.  Layouts that fail verification are *not*
+        admitted (matching the upstream quality gate); their rejection
+        reasons are recorded in the report and flow cache rather than
+        silently dropped.
         """
         params = params or GenerationParams()
-        created: list[BenchmarkFile] = []
+        report = GenerationReport()
+        started = time.monotonic()
+        # Slots keep the created-record order identical whether a flow
+        # executes or is served from the cache: one slot per network
+        # artifact plus one per flow, filled in definition order.
+        slots: list[list[BenchmarkFile]] = []
+        pending: list[tuple[BenchmarkSpec, str, FlowTask, list[BenchmarkFile]]] = []
         for spec in specs:
             network = spec.build(params.node_cap)
-            created.append(self._write_network(spec, network))
-            for layout, algorithm, scheme, opts, runtime in self._flows(
-                network, libraries, params
-            ):
-                record = self._admit_layout(
-                    spec, network, layout, algorithm, scheme, opts, runtime, params
+            slots.append([self._remember(self._write_network(spec, network))])
+            verilog = network_to_verilog(network)
+            signature = output_signature(network)
+            for flow in self._flow_names(network, libraries, params):
+                key = self._cache_key(signature, flow, params)
+                slot: list[BenchmarkFile] = []
+                slots.append(slot)
+                entry = self._flow_cache.get(key) if params.use_cache else None
+                if entry is not None and self._cache_entry_usable(entry):
+                    report.skipped_cached += 1
+                    for record_json in entry["records"]:
+                        slot.append(self._remember(BenchmarkFile.from_json(record_json)))
+                    continue
+                pending.append(
+                    (spec, key, FlowTask(spec.suite, spec.name, flow, verilog, params), slot)
                 )
-                if record is not None:
-                    created.append(record)
-        self._records.extend(created)
+        results = _execute_tasks([task for _, _, task, _ in pending], params.jobs)
+        for (spec, key, task, slot), result in zip(pending, results):
+            cached_records: list[dict] = []
+            rejections: list[dict] = []
+            for candidate in result.candidates:
+                if candidate.status == "admitted":
+                    record = self._write_layout(spec, candidate)
+                    cached_records.append(record.to_json())
+                    slot.append(self._remember(record))
+                    report.admitted += 1
+                elif candidate.status == "drc_failed":
+                    report.drc_failed += 1
+                    rejections.append(
+                        {"status": candidate.status, "reason": candidate.reason}
+                    )
+                else:
+                    report.inequivalent += 1
+                    rejections.append(
+                        {"status": candidate.status, "reason": candidate.reason}
+                    )
+            if not result.candidates:
+                report.no_layout += 1
+            report.flow_seconds[f"{spec.full_name}:{task.flow}"] = result.wall_seconds
+            self._flow_cache[key] = {
+                "suite": spec.suite,
+                "name": spec.name,
+                "flow": task.flow,
+                "records": cached_records,
+                "rejections": rejections,
+            }
+        report.wall_seconds = time.monotonic() - started
         self._save_index()
-        return created
+        created = [record for slot in slots for record in slot]
+        return GenerationOutcome(created, report)
+
+    def _remember(self, record: BenchmarkFile) -> BenchmarkFile:
+        """Add ``record`` to the index unless an identical-path record
+        already exists; returns the canonical instance either way."""
+        for existing in self._records:
+            if existing.path == record.path:
+                return existing
+        self._records.append(record)
+        return record
+
+    def _cache_key(self, signature: tuple, flow: str, params: GenerationParams) -> str:
+        """Digest of (network function, flow, result-affecting params)."""
+        payload = json.dumps(
+            {
+                "signature": list(signature),
+                "flow": flow,
+                "params": params.cache_fields(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _cache_entry_usable(self, entry: dict) -> bool:
+        """A hit only counts when every referenced artifact still exists."""
+        return all(
+            (self.root / record["path"]).exists() for record in entry.get("records", ())
+        )
+
+    def _flow_names(
+        self, network: LogicNetwork, libraries, params: GenerationParams
+    ) -> list[str]:
+        """The flow portfolio for one benchmark, as flow-task names."""
+        want_qca = any(
+            lib.lower().startswith("qca") or lib.upper() == "ONE" for lib in libraries
+        )
+        want_bestagon = any(lib.lower().startswith("bestagon") for lib in libraries)
+
+        from ..networks.transforms import decompose_to_aoig, prepare_for_layout
+
+        prepared = prepare_for_layout(decompose_to_aoig(network))
+        small = (
+            len(prepared.topological_order()) + prepared.num_pos()
+            <= params.exact_max_elements
+        )
+
+        flows: list[str] = []
+        if want_qca:
+            flows += ["ortho", "ortho_opt", "npr"]
+            if small:
+                flows += [f"exact:{scheme.name}" for scheme in CARTESIAN_SCHEMES]
+        if want_bestagon:
+            if small:
+                flows.append("exact_hex")
+            flows += ["hex:ortho", "hex:ortho_opt", "hex:npr"]
+            if small:
+                flows.append("hex:exact")
+        return flows
 
     def _write_network(self, spec: BenchmarkSpec, network: LogicNetwork) -> BenchmarkFile:
         directory = self.root / spec.suite
@@ -227,144 +623,34 @@ class BenchmarkDatabase:
             path=f"{spec.suite}/{filename}",
         )
 
-    def _flows(self, network: LogicNetwork, libraries, params: GenerationParams):
-        """Yield (layout, algorithm, scheme, optimizations, runtime)."""
-        want_qca = any(lib.lower().startswith("qca") or lib.upper() == "ONE" for lib in libraries)
-        want_bestagon = any(lib.lower().startswith("bestagon") for lib in libraries)
-
-        cartesian: list[tuple[GateLayout, str, str, tuple[str, ...], float]] = []
-
-        # ortho plain and optimised.
-        try:
-            plain = orthogonal_layout(network)
-            cartesian.append((plain.layout, "ortho", "2DDWave", (), plain.runtime_seconds))
-            inord = input_ordering(
-                network,
-                InputOrderingParams(
-                    max_evaluations=params.inord_evaluations,
-                    timeout=params.inord_timeout,
-                ),
-            )
-            plo = post_layout_optimization(
-                inord.layout.clone(),
-                PostLayoutParams(max_passes=params.plo_passes, timeout=params.plo_timeout),
-            )
-            cartesian.append(
-                (
-                    plo.layout,
-                    "ortho",
-                    "2DDWave",
-                    ("InOrd (SDN)", "PLO"),
-                    inord.runtime_seconds + plo.runtime_seconds,
-                )
-            )
-        except OrthoError:
-            pass
-
-        # NanoPlaceR on small/medium functions.
-        try:
-            np_result = nanoplacer_layout(
-                network,
-                NanoPlaceRParams(
-                    timeout=params.nanoplacer_timeout,
-                    max_gates=params.nanoplacer_max_gates,
-                ),
-            )
-            if np_result.layout is not None:
-                cartesian.append(
-                    (np_result.layout, "NPR", "2DDWave", (), np_result.runtime_seconds)
-                )
-        except NanoPlaceRScaleError:
-            pass
-
-        # exact across Cartesian schemes on small functions.
-        from ..networks.transforms import decompose_to_aoig, prepare_for_layout
-
-        prepared = prepare_for_layout(decompose_to_aoig(network))
-        small = (
-            len(prepared.topological_order()) + prepared.num_pos()
-            <= params.exact_max_elements
-        )
-        if small:
-            for scheme in CARTESIAN_SCHEMES:
-                result = exact_layout(
-                    network,
-                    ExactParams(
-                        scheme=scheme,
-                        timeout=params.exact_timeout,
-                        ratio_timeout=params.exact_ratio_timeout,
-                    ),
-                )
-                if result.layout is not None:
-                    cartesian.append(
-                        (result.layout, "exact", scheme.name, (), result.runtime_seconds)
-                    )
-
-        if want_qca:
-            yield from cartesian
-
-        if want_bestagon:
-            if small:
-                result = exact_layout(
-                    network,
-                    ExactParams(
-                        scheme=ROW,
-                        topology=Topology.HEXAGONAL_EVEN_ROW,
-                        timeout=params.exact_timeout,
-                        ratio_timeout=params.exact_ratio_timeout,
-                        keep_two_input=True,
-                    ),
-                )
-                if result.layout is not None:
-                    yield (result.layout, "exact", "ROW", (), result.runtime_seconds)
-            for layout, algorithm, scheme, opts, runtime in cartesian:
-                if scheme != "2DDWave":
-                    continue
-                hexed = to_hexagonal(layout)
-                yield (
-                    hexed.layout,
-                    algorithm,
-                    "ROW",
-                    opts + ("45°",),
-                    runtime + hexed.runtime_seconds,
-                )
-
-    def _admit_layout(
-        self,
-        spec: BenchmarkSpec,
-        network: LogicNetwork,
-        layout: GateLayout,
-        algorithm: str,
-        scheme: str,
-        opts: tuple[str, ...],
-        runtime: float,
-        params: GenerationParams,
-    ) -> BenchmarkFile | None:
-        drc, equivalence = verify_layout(layout, network, num_vectors=params.verify_vectors)
-        if not drc.ok or not equivalence.equivalent:
-            return None
-        library = "Bestagon" if layout.topology is Topology.HEXAGONAL_EVEN_ROW else "QCA ONE"
+    def _write_layout(self, spec: BenchmarkSpec, candidate: FlowArtifact) -> BenchmarkFile:
+        """Materialise an admitted flow candidate as an ``.fgl`` record."""
         directory = self.root / spec.suite
         directory.mkdir(parents=True, exist_ok=True)
-        filename = self.file_name(spec.name, library, scheme, algorithm, opts)
-        write_fgl(layout, directory / filename)
-        width, height = layout.bounding_box()
+        filename = self.file_name(
+            spec.name,
+            candidate.library,
+            candidate.scheme,
+            candidate.algorithm,
+            candidate.optimizations,
+        )
+        (directory / filename).write_text(candidate.fgl_text, encoding="utf-8")
         return BenchmarkFile(
             suite=spec.suite,
             name=spec.name,
             abstraction_level=AbstractionLevel.GATE_LEVEL,
             path=f"{spec.suite}/{filename}",
-            gate_library=library,
-            clocking_scheme=scheme,
-            algorithm=algorithm,
-            optimizations=opts,
-            width=width,
-            height=height,
-            area=width * height,
-            num_gates=layout.num_gates(),
-            num_wires=layout.num_wires(),
-            num_crossings=layout.num_crossings(),
-            runtime_seconds=runtime,
+            gate_library=candidate.library,
+            clocking_scheme=candidate.scheme,
+            algorithm=candidate.algorithm,
+            optimizations=candidate.optimizations,
+            width=candidate.width,
+            height=candidate.height,
+            area=candidate.width * candidate.height,
+            num_gates=candidate.num_gates,
+            num_wires=candidate.num_wires,
+            num_crossings=candidate.num_crossings,
+            runtime_seconds=candidate.runtime_seconds,
         )
 
     @staticmethod

@@ -238,7 +238,8 @@ def best_layout(
             rejected.append(f"{label}: DRC — {drc.violations[0]}")
             continue
         if not equivalence.equivalent:
-            rejected.append(f"{label}: not equivalent ({equivalence.counterexample})")
+            detail = equivalence.reason or f"counterexample {equivalence.counterexample}"
+            rejected.append(f"{label}: not equivalent ({detail})")
             continue
         candidates.append(
             FlowCandidate(layout, compute_metrics(layout), algorithm, scheme, opts, runtime)

@@ -100,19 +100,27 @@ def submit_layout(
     )
     previous_best = previous[0].area if previous else None
 
-    record = db._admit_layout(  # reuse the generation pipeline's writer
-        spec,
-        network,
-        layout,
+    # Reuse the generation pipeline's writer: wrap the already-verified
+    # layout as an admitted flow artifact and materialise it.
+    from ..io.fgl import layout_to_fgl
+    from .bench import FlowArtifact
+
+    width, height = layout.bounding_box()
+    artifact = FlowArtifact(
+        "admitted",
+        library,
         algorithm,
         layout.scheme.name,
         optimizations,
         0.0,
-        _submission_params(num_vectors),
+        fgl_text=layout_to_fgl(layout),
+        width=width,
+        height=height,
+        num_gates=layout.num_gates(),
+        num_wires=layout.num_wires(),
+        num_crossings=layout.num_crossings(),
     )
-    if record is None:  # pragma: no cover - guarded by the checks above
-        return SubmissionResult(False, ("verification failed during admission",))
-    db._records.append(record)
+    record = db._remember(db._write_layout(spec, artifact))
     db._save_index()
     return SubmissionResult(True, (), record, previous_best)
 
@@ -122,9 +130,3 @@ def submit_fgl_file(
 ) -> SubmissionResult:
     """Read a contributed ``.fgl`` file and submit it."""
     return submit_layout(db, spec, read_fgl(path), **kwargs)
-
-
-def _submission_params(num_vectors: int):
-    from .bench import GenerationParams
-
-    return GenerationParams(verify_vectors=num_vectors)

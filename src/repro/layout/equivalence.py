@@ -25,7 +25,9 @@ def layout_equivalent(
 
     PIs/POs are matched positionally (placement algorithms keep the
     network's interface order).  Small interfaces are proven
-    exhaustively; larger ones sampled deterministically.
+    exhaustively; larger ones sampled deterministically — both on the
+    word-level engine, with wire chains collapsed during extraction so
+    simulation cost scales with the logic content, not the wiring.
     """
     implemented = layout.extract_network()
     return check_equivalence(specification, implemented, num_vectors, seed)
@@ -42,5 +44,6 @@ def verify_layout(
     if not drc.ok:
         # A structurally broken layout cannot be extracted reliably;
         # report inequivalence without attempting simulation.
-        return drc, EquivalenceResult(False, None)
+        reason = f"DRC failed: {drc.violations[0]}" if drc.violations else "DRC failed"
+        return drc, EquivalenceResult(False, None, reason=reason)
     return drc, layout_equivalent(layout, specification, num_vectors)

@@ -287,12 +287,17 @@ class GateLayout:
             indegree[tile] = len(gate.fanins)
         ready = [t for t, d in indegree.items() if d == 0]
         order: list[Tile] = []
+        tiles = self._tiles
+        readers = self._readers
         while ready:
             tile = ready.pop()
             order.append(tile)
-            for reader in self.readers(tile):
-                indegree[reader] -= len([f for f in self._tiles[reader].fanins if f == tile])
-                if indegree[reader] == 0:
+            for reader in readers.get(tile, ()):
+                remaining = indegree[reader] - sum(
+                    1 for f in tiles[reader].fanins if f == tile
+                )
+                indegree[reader] = remaining
+                if remaining == 0:
                     ready.append(reader)
         if len(order) != len(self._tiles):
             raise ValueError("layout connectivity contains a cycle or dangling fanin")
@@ -314,8 +319,18 @@ class GateLayout:
 
     # -- extraction ----------------------------------------------------------------------
 
-    def extract_network(self) -> LogicNetwork:
-        """Rebuild the implemented :class:`LogicNetwork` for verification."""
+    def extract_network(self, collapse_wires: bool = True) -> LogicNetwork:
+        """Rebuild the implemented :class:`LogicNetwork` for verification.
+
+        With ``collapse_wires`` (the default) wire segments and fanout
+        tiles — identity functions that often make up the bulk of a
+        routed layout — are aliased to their driver signal instead of
+        materialised as ``BUF`` nodes.  The extracted network then
+        carries only the logic content, which keeps word-level
+        verification cost proportional to gate count rather than wire
+        count.  Pass ``collapse_wires=False`` for the structural 1:1
+        extraction (one node per occupied tile).
+        """
         ntk = LogicNetwork(self.name)
         signal: dict[Tile, int] = {}
         # PIs first, in placement order, so the network interface matches
@@ -330,7 +345,10 @@ class GateLayout:
             if t is GateType.PO:
                 continue
             if t in (GateType.BUF, GateType.FANOUT):
-                signal[tile] = ntk.create_buf(signal[gate.fanins[0]])
+                if collapse_wires:
+                    signal[tile] = signal[gate.fanins[0]]
+                else:
+                    signal[tile] = ntk.create_buf(signal[gate.fanins[0]])
             else:
                 signal[tile] = ntk.create_gate(t, tuple(signal[f] for f in gate.fanins))
         # Emit POs in placement order for a stable interface.

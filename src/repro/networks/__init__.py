@@ -3,11 +3,16 @@
 from .logic_network import GateType, LogicNetwork, NetworkStats, Node
 from .truth_table import TruthTable
 from .simulation import (
+    EXHAUSTIVE_LIMIT,
     EquivalenceResult,
     all_vectors,
     check_equivalence,
+    exhaustive_words,
     output_signature,
+    pack_vectors,
     random_vectors,
+    random_words,
+    unpack_vector,
 )
 from .transforms import decompose_to_aoig, prepare_for_layout, propagate_constants
 from .verilog import (
@@ -26,6 +31,7 @@ __all__ = [
     "format_profile",
     "profile",
     "to_networkx",
+    "EXHAUSTIVE_LIMIT",
     "EquivalenceResult",
     "GateType",
     "GeneratorSpec",
@@ -37,13 +43,17 @@ __all__ = [
     "all_vectors",
     "check_equivalence",
     "decompose_to_aoig",
+    "exhaustive_words",
     "generate_network",
     "network_to_verilog",
     "output_signature",
+    "pack_vectors",
     "parse_verilog",
     "prepare_for_layout",
     "propagate_constants",
     "random_vectors",
+    "random_words",
+    "unpack_vector",
     "read_verilog",
     "scaled_gate_count",
     "write_verilog",

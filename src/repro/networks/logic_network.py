@@ -88,6 +88,27 @@ GATE_EVAL = {
     GateType.MUX: lambda s, t, e: t if s else e,
 }
 
+#: Word-level evaluation functions: each takes the all-ones mask of the
+#: packed word followed by one integer word per fanin, and returns the
+#: output word.  Bit ``j`` of every word is stimulus vector ``j``, so one
+#: call evaluates the gate for every packed vector at once.
+GATE_EVAL_WORDS = {
+    GateType.CONST0: lambda m: 0,
+    GateType.CONST1: lambda m: m,
+    GateType.PO: lambda m, a: a,
+    GateType.BUF: lambda m, a: a,
+    GateType.FANOUT: lambda m, a: a,
+    GateType.NOT: lambda m, a: a ^ m,
+    GateType.AND: lambda m, a, b: a & b,
+    GateType.NAND: lambda m, a, b: (a & b) ^ m,
+    GateType.OR: lambda m, a, b: a | b,
+    GateType.NOR: lambda m, a, b: (a | b) ^ m,
+    GateType.XOR: lambda m, a, b: a ^ b,
+    GateType.XNOR: lambda m, a, b: (a ^ b) ^ m,
+    GateType.MAJ: lambda m, a, b, c: (a & b) | (a & c) | (b & c),
+    GateType.MUX: lambda m, s, t, e: (s & t) | ((s ^ m) & e),
+}
+
 
 @dataclass
 class Node:
@@ -331,53 +352,66 @@ class LogicNetwork:
             values[uid] = GATE_EVAL[node.gate_type](*(values[f] for f in node.fanins))
         return values
 
+    def simulate_words(self, input_words, num_vectors: int) -> list[int]:
+        """Bit-parallel evaluation of all POs over packed stimulus words.
+
+        ``input_words`` carries one arbitrary-precision integer per PI;
+        bit ``j`` of PI ``i``'s word is the value of that input in
+        stimulus vector ``j`` (``0 <= j < num_vectors``).  Every gate is
+        evaluated exactly once with bitwise integer operations, so the
+        cost of checking hundreds of vectors is a single topological
+        walk instead of one walk per vector.  Returns one output word
+        per PO with the same bit layout.
+        """
+        words = self._node_words(input_words, num_vectors)
+        return [words[s] for s in self.po_signals()]
+
+    def _node_words(self, input_words, num_vectors: int) -> dict[int, int]:
+        input_words = list(input_words)
+        if len(input_words) != len(self._pis):
+            raise ValueError(
+                f"expected {len(self._pis)} input words, got {len(input_words)}"
+            )
+        if num_vectors < 1:
+            raise ValueError("num_vectors must be positive")
+        mask = (1 << num_vectors) - 1
+        words: dict[int, int] = {0: 0, 1: mask}
+        for uid, word in zip(self._pis, input_words):
+            words[uid] = word & mask
+        nodes = self._nodes
+        eval_words = GATE_EVAL_WORDS
+        for uid in self.topological_order():
+            if uid in words:
+                continue
+            node = nodes[uid]
+            words[uid] = eval_words[node.gate_type](
+                mask, *(words[f] for f in node.fanins)
+            )
+        return words
+
+    def evaluate_words(self, input_words, num_vectors: int) -> list[int]:
+        """Alias of :meth:`simulate_words` mirroring :meth:`evaluate`."""
+        return self.simulate_words(input_words, num_vectors)
+
     def simulate(self) -> list[TruthTable]:
         """Exhaustively simulate into one truth table per PO.
 
-        Only feasible for networks with at most 16 primary inputs; larger
+        A thin wrapper around :meth:`simulate_words`: the packed word of
+        PI ``var`` is its projection pattern over all ``2^n`` rows, so
+        the resulting PO words *are* the truth-table bit masks.  Only
+        feasible for networks with at most 16 primary inputs; larger
         networks should be compared with :mod:`repro.networks.simulation`'s
         random-vector equivalence checking instead.
         """
         n = len(self._pis)
         if n > 16:
             raise ValueError("exhaustive simulation limited to 16 inputs")
-        masks: dict[int, int] = {
-            0: 0,
-            1: (1 << (1 << n)) - 1 if n else 1,
-        }
-        full = (1 << (1 << n)) - 1 if n else 1
-        for var, uid in enumerate(self._pis):
-            masks[uid] = TruthTable.projection(var, n).bits if n else 0
-        for uid in self.topological_order():
-            if uid in masks:
-                continue
-            node = self._nodes[uid]
-            f = [masks[x] for x in node.fanins]
-            t = node.gate_type
-            if t in (GateType.BUF, GateType.FANOUT, GateType.PO):
-                bits = f[0]
-            elif t is GateType.NOT:
-                bits = ~f[0] & full
-            elif t is GateType.AND:
-                bits = f[0] & f[1]
-            elif t is GateType.NAND:
-                bits = ~(f[0] & f[1]) & full
-            elif t is GateType.OR:
-                bits = f[0] | f[1]
-            elif t is GateType.NOR:
-                bits = ~(f[0] | f[1]) & full
-            elif t is GateType.XOR:
-                bits = f[0] ^ f[1]
-            elif t is GateType.XNOR:
-                bits = ~(f[0] ^ f[1]) & full
-            elif t is GateType.MAJ:
-                bits = (f[0] & f[1]) | (f[0] & f[2]) | (f[1] & f[2])
-            elif t is GateType.MUX:
-                bits = (f[0] & f[1]) | (~f[0] & f[2]) & full
-            else:  # pragma: no cover - all types handled above
-                raise AssertionError(f"unhandled gate type {t}")
-            masks[uid] = bits & full
-        return [TruthTable(n, masks[s] & full) for s in self.po_signals()]
+        rows = 1 << n
+        projections = [TruthTable.projection(var, n).bits for var in range(n)]
+        return [
+            TruthTable(n, word)
+            for word in self.simulate_words(projections, rows)
+        ]
 
     # -- transformations -----------------------------------------------------
 

@@ -24,15 +24,18 @@ def _projection(var: int, num_vars: int) -> int:
     """Bit mask of the projection function ``f(x) = x[var]``.
 
     Row ``i`` is true iff bit ``var`` of ``i`` is set; the resulting mask is
-    the classic alternating pattern (0101…, 0011…, 00001111…, …).
+    the classic alternating pattern (0101…, 0011…, 00001111…, …), built
+    here by replicating one period of the pattern with a single big-int
+    multiplication instead of a per-row Python loop.
     """
     if not 0 <= var < num_vars:
         raise ValueError(f"variable {var} out of range for {num_vars} inputs")
-    bits = 0
-    for row in range(1 << num_vars):
-        if row >> var & 1:
-            bits |= 1 << row
-    return bits
+    half = 1 << var
+    block = ((1 << half) - 1) << half
+    period = half << 1
+    repeats = (1 << num_vars) >> (var + 1)
+    replicator = ((1 << (period * repeats)) - 1) // ((1 << period) - 1)
+    return block * replicator
 
 
 @dataclass(frozen=True)

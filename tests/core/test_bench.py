@@ -89,6 +89,63 @@ class TestQuery:
         assert best.area == min(r.area for r in all_qca)
 
 
+class TestBestOnlyRanking:
+    """``area == 0`` is a legitimate value and must rank best, while
+    ``None`` means missing and must rank last (regression for the old
+    ``record.area or 1 << 60`` sentinel)."""
+
+    @staticmethod
+    def _db_with_areas(tmp_path, areas):
+        from repro.core.bench import BenchmarkFile
+
+        db = BenchmarkDatabase(tmp_path)
+        for i, area in enumerate(areas):
+            db._records.append(
+                BenchmarkFile(
+                    suite="t",
+                    name="f",
+                    abstraction_level=AbstractionLevel.GATE_LEVEL,
+                    path=f"t/f_{i}.fgl",
+                    gate_library="QCA ONE",
+                    clocking_scheme="2DDWave",
+                    algorithm=f"alg{i}",
+                    width=area,
+                    height=1 if area is not None else None,
+                    area=area,
+                )
+            )
+        return db
+
+    def test_zero_area_beats_positive(self, tmp_path):
+        db = self._db_with_areas(tmp_path, [12, 0, 7])
+        best = db.query(Selection.make(best_only=True))
+        assert len(best) == 1
+        assert best[0].area == 0
+
+    def test_none_area_ranks_last(self, tmp_path):
+        db = self._db_with_areas(tmp_path, [None, 9])
+        best = db.query(Selection.make(best_only=True))
+        assert best[0].area == 9
+        everything = db.query(Selection.make())
+        assert [r.area for r in everything] == [9, None]
+
+    def test_all_none_still_returns_one(self, tmp_path):
+        db = self._db_with_areas(tmp_path, [None, None])
+        best = db.query(Selection.make(best_only=True))
+        assert len(best) == 1
+
+
+class TestGenerationReporting:
+    def test_generate_returns_outcome_with_report(self, populated_db):
+        # the module fixture ran generate(); re-run hits the flow cache
+        outcome = populated_db.generate(
+            [get_benchmark("trindade16", "mux21")], params=FAST
+        )
+        assert outcome.report.executed_flows == 0
+        assert outcome.report.skipped_cached > 0
+        assert len(outcome) == len(populated_db.files())
+
+
 class TestFileNames:
     def test_naming_convention(self):
         name = BenchmarkDatabase.file_name(

@@ -57,6 +57,20 @@ def test_verify_layout_short_circuits_on_drc_failure(and_layout):
     drc, equivalence = verify_layout(layout, spec)
     assert not drc.ok
     assert not equivalence.equivalent
+    # the rejection cause is surfaced, not silently dropped
+    assert equivalence.reason is not None
+    assert "DRC" in equivalence.reason
+
+
+def test_interface_mismatch_reason_surfaced(and_layout):
+    layout, _ = and_layout
+    three_inputs = LogicNetwork()
+    pis = [three_inputs.create_pi() for _ in range(3)]
+    three_inputs.create_po(three_inputs.create_maj(*pis))
+    result = layout_equivalent(layout, three_inputs)
+    assert not result.equivalent
+    assert result.reason is not None
+    assert "PI count mismatch" in result.reason
 
 
 def test_generated_layout_verifies():
