@@ -64,6 +64,8 @@ def _cmd_generate(args) -> int:
         exact_timeout=args.exact_timeout,
         jobs=args.jobs,
         use_cache=not args.no_cache,
+        profile=args.profile,
+        profile_top=args.profile_top,
     )
     libraries = tuple(args.library) if args.library else ("QCA ONE", "Bestagon")
     created = db.generate(specs, libraries=libraries, params=params)
@@ -71,7 +73,17 @@ def _cmd_generate(args) -> int:
         area = f"A={record.area}" if record.area is not None else ""
         print(f"wrote {record.path} {area}")
     print(f"{len(created)} artifact(s) written to {args.database}")
-    print(created.report.summary())
+    report = created.report
+    if args.profile:
+        for key in sorted(report.flow_profiles):
+            seconds = report.flow_seconds.get(key, 0.0)
+            print(f"\n--- profile {key} ({seconds:.2f} s) ---")
+            print(report.flow_profiles[key])
+    if report.flow_seconds:
+        print("per-flow wall times:")
+        for key in sorted(report.flow_seconds):
+            print(f"  {key:48s} {report.flow_seconds[key]:8.3f} s")
+    print(report.summary())
     return 0
 
 
@@ -150,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--library", action="append", choices=["QCA ONE", "Bestagon"])
     gen.add_argument("--node-cap", type=int, default=300)
     gen.add_argument("--exact-timeout", type=float, default=6.0)
+    gen.add_argument(
+        "--profile",
+        action="store_true",
+        help="run flows under cProfile and print the hottest functions per flow",
+    )
+    gen.add_argument(
+        "--profile-top",
+        type=int,
+        default=12,
+        metavar="N",
+        help="rows per per-flow profile table (with --profile)",
+    )
     gen.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for flow execution (1: in-process)",

@@ -142,6 +142,12 @@ class GenerationParams:
     jobs: int = 1
     #: Reuse flow results recorded in the index's flow cache.
     use_cache: bool = True
+    #: Profile every executed flow under :mod:`cProfile` and report the
+    #: hottest functions per flow.  Forces serial in-process execution
+    #: and disables the cache so every flow actually runs.
+    profile: bool = False
+    #: Number of rows in each per-flow profile table.
+    profile_top: int = 12
 
     def cache_fields(self) -> dict:
         """The parameter subset that affects flow *results* (not how or
@@ -149,6 +155,8 @@ class GenerationParams:
         data = asdict(self)
         data.pop("jobs")
         data.pop("use_cache")
+        data.pop("profile")
+        data.pop("profile_top")
         return data
 
 
@@ -168,6 +176,8 @@ class GenerationReport:
     no_layout: int = 0
     skipped_cached: int = 0
     flow_seconds: dict[str, float] = field(default_factory=dict)
+    #: Per-flow cProfile top-N tables (populated with ``profile=True``).
+    flow_profiles: dict[str, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     @property
@@ -241,6 +251,8 @@ class FlowTaskResult:
     flow: str
     candidates: tuple[FlowArtifact, ...]
     wall_seconds: float
+    #: Formatted cProfile top-N table when profiling was requested.
+    profile_stats: str | None = None
 
 
 def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
@@ -397,8 +409,37 @@ def _execute_flow_task(task: FlowTask) -> FlowTaskResult:
     return FlowTaskResult(task.flow, tuple(candidates), time.monotonic() - started)
 
 
-def _execute_tasks(tasks: list[FlowTask], jobs: int) -> list[FlowTaskResult]:
+def _profile_flow_task(task: FlowTask) -> FlowTaskResult:
+    """Run one flow task under cProfile and attach its hottest functions."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = _execute_flow_task(task)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(task.params.profile_top)
+    # Drop the preamble; keep only the table rows and header.
+    lines = buffer.getvalue().splitlines()
+    table_start = next(
+        (i for i, line in enumerate(lines) if line.lstrip().startswith("ncalls")), 0
+    )
+    table = "\n".join(line for line in lines[table_start:] if line.strip())
+    return FlowTaskResult(result.flow, result.candidates, result.wall_seconds, table)
+
+
+def _execute_tasks(
+    tasks: list[FlowTask], jobs: int, profile: bool = False
+) -> list[FlowTaskResult]:
     """Run flow tasks serially or across a process pool, order-preserving."""
+    if profile:
+        # Profiling needs the work in-process: one profiler per flow.
+        return [_profile_flow_task(t) for t in tasks]
     if jobs <= 1 or len(tasks) <= 1:
         return [_execute_flow_task(t) for t in tasks]
     try:
@@ -510,7 +551,11 @@ class BenchmarkDatabase:
                 key = self._cache_key(signature, flow, params)
                 slot: list[BenchmarkFile] = []
                 slots.append(slot)
-                entry = self._flow_cache.get(key) if params.use_cache else None
+                entry = (
+                    self._flow_cache.get(key)
+                    if params.use_cache and not params.profile
+                    else None
+                )
                 if entry is not None and self._cache_entry_usable(entry):
                     report.skipped_cached += 1
                     for record_json in entry["records"]:
@@ -519,7 +564,9 @@ class BenchmarkDatabase:
                 pending.append(
                     (spec, key, FlowTask(spec.suite, spec.name, flow, verilog, params), slot)
                 )
-        results = _execute_tasks([task for _, _, task, _ in pending], params.jobs)
+        results = _execute_tasks(
+            [task for _, _, task, _ in pending], params.jobs, params.profile
+        )
         for (spec, key, task, slot), result in zip(pending, results):
             cached_records: list[dict] = []
             rejections: list[dict] = []
@@ -542,6 +589,10 @@ class BenchmarkDatabase:
             if not result.candidates:
                 report.no_layout += 1
             report.flow_seconds[f"{spec.full_name}:{task.flow}"] = result.wall_seconds
+            if result.profile_stats is not None:
+                report.flow_profiles[f"{spec.full_name}:{task.flow}"] = (
+                    result.profile_stats
+                )
             self._flow_cache[key] = {
                 "suite": spec.suite,
                 "name": spec.name,

@@ -18,9 +18,10 @@ are implemented here with the zone assignments used by *fiction*:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
-from .coordinates import Tile
+from .coordinates import Tile, Topology, neighbor_offsets
 
 
 @dataclass(frozen=True)
@@ -56,8 +57,87 @@ class ClockingScheme:
             return True
         return (self.zone(source) + 1) % self.num_phases == self.zone(target)
 
+    @property
+    def period(self) -> tuple[int, int]:
+        """``(period_x, period_y)`` of the zone assignment (regular only)."""
+        if not self.regular:
+            raise ValueError(f"{self.name} is irregular; it has no period")
+        if self.diagonal:
+            return self.num_phases, self.num_phases
+        assert self.matrix is not None
+        return len(self.matrix[0]), len(self.matrix)
+
     def __str__(self) -> str:
         return self.name
+
+
+@dataclass(frozen=True)
+class ClockNeighborTables:
+    """Precomputed per-scheme/topology zone and clock-neighbour tables.
+
+    Clock zones are periodic in tile coordinates, so one table per
+    (scheme, topology) pair serves every layout of any size: index the
+    row-major tables with ``[y % period_y][x % period_x]``.
+
+    * ``zones`` — the clock zone of the tile;
+    * ``outgoing`` — the (dx, dy) offsets of neighbours the tile may
+      send data into (``zone + 1`` neighbours), in the same order the
+      legacy :func:`repro.layout.coordinates.neighbors` emits them;
+    * ``incoming`` — the offsets of neighbours that may send data into
+      the tile (``zone - 1`` neighbours).
+    """
+
+    period_x: int
+    period_y: int
+    zones: tuple[tuple[int, ...], ...]
+    outgoing: tuple[tuple[tuple[int, int], ...], ...]
+    incoming: tuple[tuple[tuple[int, int], ...], ...]
+
+
+@functools.lru_cache(maxsize=None)
+def neighbor_tables(scheme: ClockingScheme, topology: Topology) -> ClockNeighborTables:
+    """The :class:`ClockNeighborTables` of a regular scheme on a topology.
+
+    Cached per (scheme, topology): schemes are frozen module singletons,
+    so the cache stays a handful of entries for the whole process.
+    """
+    if not scheme.regular:
+        raise ValueError(f"{scheme.name} is irregular; zones live in the layout")
+    px, py = scheme.period
+    # Hexagonal neighbour offsets depend on row parity; every scheme in
+    # use has an even period_y, which absorbs the parity automatically.
+    if topology is not Topology.CARTESIAN and py % 2:
+        py *= 2
+    zones = tuple(
+        tuple(scheme.zone(Tile(x, y)) for x in range(px)) for y in range(py)
+    )
+    outgoing: list[tuple[tuple[int, int], ...]] = []
+    incoming: list[tuple[tuple[int, int], ...]] = []
+    for y in range(py):
+        out_row: list[tuple[int, int]] = []
+        in_row: list[tuple[int, int]] = []
+        for x in range(px):
+            zone = zones[y][x]
+            offsets = neighbor_offsets(topology, y)
+            out_row.append(
+                tuple(
+                    (dx, dy)
+                    for dx, dy in offsets
+                    if scheme.zone(Tile(x + dx, y + dy))
+                    == (zone + 1) % scheme.num_phases
+                )
+            )
+            in_row.append(
+                tuple(
+                    (dx, dy)
+                    for dx, dy in offsets
+                    if (scheme.zone(Tile(x + dx, y + dy)) + 1) % scheme.num_phases
+                    == zone
+                )
+            )
+        outgoing.append(tuple(out_row))
+        incoming.append(tuple(in_row))
+    return ClockNeighborTables(px, py, zones, tuple(outgoing), tuple(incoming))
 
 
 #: 2DDWave: diagonal waves; unidirectional east/south information flow.

@@ -75,6 +75,24 @@ def hex_neighbors_offsets(y: int) -> list[tuple[int, int]]:
     return [(1, 0), (-1, 0), (-1, -1), (0, -1), (-1, 1), (0, 1)]
 
 
+#: Cartesian (dx, dy) neighbour offsets, in the order ``cartesian_neighbors``
+#: emits them (E, W, S, N).  The clocking-table machinery relies on this
+#: order so table-driven traversal matches the historical one tile for tile.
+CARTESIAN_OFFSETS: tuple[tuple[int, int], ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+def neighbor_offsets(topology: Topology, y: int) -> tuple[tuple[int, int], ...]:
+    """(dx, dy) neighbour offsets of a tile in row ``y``, in emission order.
+
+    For Cartesian grids the offsets are row-independent; for even-row
+    offset hexagonal grids they depend on the row parity only.  The
+    returned order matches :func:`neighbors` exactly.
+    """
+    if topology is Topology.CARTESIAN:
+        return CARTESIAN_OFFSETS
+    return tuple(hex_neighbors_offsets(y))
+
+
 def hex_adjacent(a: Tile, b: Tile) -> bool:
     """True if ``b`` is one of ``a``'s six hexagonal neighbours."""
     return (b.x - a.x, b.y - a.y) in hex_neighbors_offsets(a.y)

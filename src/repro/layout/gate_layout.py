@@ -14,10 +14,11 @@ dangling references so that algorithms can build layouts incrementally.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 
 from ..networks.logic_network import GateType, LogicNetwork
-from .clocking import OPEN, ClockingScheme
+from .clocking import OPEN, ClockingScheme, neighbor_tables
 from .coordinates import Tile, Topology, adjacent, neighbors
 
 
@@ -73,6 +74,40 @@ class GateLayout:
         self._pos: list[Tile] = []
         self._zones: dict[Tile, int] = {}
         self._readers: dict[Tile, list[Tile]] = {}
+        # Flat per-layer occupancy arrays (index ``y * width + x``): the
+        # hot-path read side of the structure.  ``_tiles`` stays the
+        # canonical insertion-ordered view for iteration/serialisation.
+        self._grid: list[list[LayoutGate | None]] = [
+            [None] * (width * height),
+            [None] * (width * height),
+        ]
+        self._ground_occupied = 0
+        self._border_occupied = 0
+        #: Reusable A* search arena, owned by the router (see
+        #: :mod:`repro.physical_design.routing`); invalidated on resize.
+        self._route_arena = None
+        #: Monotone counter bumped on every structural mutation; caches
+        #: keyed by it (e.g. the router's step cache) self-invalidate.
+        self.mutations = 0
+        #: Zobrist-style occupancy digest: XOR of one random word per
+        #: occupied position (wire positions use a second word so states
+        #: that differ only in wire-vs-gate content hash apart).  Restored
+        #: exactly by remove/rollback — sound as a routing-cache key.
+        self.occupancy_hash = 0
+        self._zobrist: list[int] | None = None
+        #: Undo journal: ``None`` when disabled, else a list of undo
+        #: records.  See :meth:`begin_journal`.
+        self._journal: list[tuple] | None = None
+        if scheme.regular:
+            tables = neighbor_tables(scheme, topology)
+            self._clock_tables = tables
+            self._zone_rows = tables.zones
+            self._out_rows = tables.outgoing
+            self._in_rows = tables.incoming
+            self._period_x = tables.period_x
+            self._period_y = tables.period_y
+        else:
+            self._clock_tables = None
 
     # -- geometry ------------------------------------------------------------
 
@@ -81,11 +116,29 @@ class GateLayout:
 
     def resize(self, width: int, height: int) -> None:
         """Grow or shrink the grid; occupied tiles must stay in bounds."""
+        if self._journal is not None:
+            raise ValueError("cannot resize while a rollback journal is active")
         for tile in self._tiles:
             if tile.x >= width or tile.y >= height:
                 raise ValueError(f"cannot shrink: tile {tile} occupied")
         self.width = width
         self.height = height
+        self._grid = [[None] * (width * height), [None] * (width * height)]
+        for tile, gate in self._tiles.items():
+            self._grid[tile.z][tile.y * width + tile.x] = gate
+        self._border_occupied = sum(
+            1 for t in self._tiles if t.z == 0 and self._on_border(t)
+        )
+        self._zobrist = None
+        self.occupancy_hash = 0
+        self._route_arena = None
+        self.mutations += 1
+
+    def _on_border(self, tile: Tile) -> bool:
+        return (
+            tile.x in (0, self.width - 1)
+            or tile.y in (0, self.height - 1)
+        )
 
     def area(self) -> int:
         """Layout area in tiles (``width × height``), as in Table I."""
@@ -102,15 +155,15 @@ class GateLayout:
     def shrink_to_fit(self) -> None:
         """Crop the grid to the occupied bounding box."""
         w, h = self.bounding_box()
-        if w and h:
-            self.width, self.height = w, h
+        if w and h and (w, h) != (self.width, self.height):
+            self.resize(w, h)
 
     # -- clocking --------------------------------------------------------------
 
     def zone(self, tile: Tile) -> int:
         """Clock zone of ``tile``."""
-        if self.scheme.regular:
-            return self.scheme.zone(tile)
+        if self._clock_tables is not None:
+            return self._zone_rows[tile.y % self._period_y][tile.x % self._period_x]
         return self._zones.get(tile.ground, 0)
 
     def assign_zone(self, tile: Tile, zone: int) -> None:
@@ -119,7 +172,11 @@ class GateLayout:
             raise ValueError(f"{self.scheme.name} derives zones; cannot assign")
         if not 0 <= zone < self.scheme.num_phases:
             raise ValueError(f"zone {zone} out of range")
-        self._zones[tile.ground] = zone
+        ground = tile.ground
+        if self._journal is not None:
+            self._journal.append(("zone", ground, self._zones.get(ground)))
+        self._zones[ground] = zone
+        self.mutations += 1
 
     def is_incoming_clocked(self, target: Tile, source: Tile) -> bool:
         """True if the clocking admits data flow ``source`` → ``target``."""
@@ -127,27 +184,88 @@ class GateLayout:
 
     def outgoing_tiles(self, tile: Tile) -> list[Tile]:
         """In-bounds neighbours that ``tile`` may send data into."""
-        return [
-            t
-            for t in neighbors(self.topology, tile.ground, self.width, self.height)
-            if self.is_incoming_clocked(t, tile)
-        ]
+        if self._clock_tables is None:
+            return [
+                t
+                for t in neighbors(self.topology, tile.ground, self.width, self.height)
+                if self.is_incoming_clocked(t, tile)
+            ]
+        x, y, w, h = tile.x, tile.y, self.width, self.height
+        offsets = self._out_rows[y % self._period_y][x % self._period_x]
+        out = []
+        for dx, dy in offsets:
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < w and 0 <= ny < h:
+                out.append(Tile(nx, ny))
+        return out
 
     def incoming_tiles(self, tile: Tile) -> list[Tile]:
         """In-bounds neighbours that may send data into ``tile``."""
-        return [
-            t
-            for t in neighbors(self.topology, tile.ground, self.width, self.height)
-            if self.is_incoming_clocked(tile, t)
-        ]
+        if self._clock_tables is None:
+            return [
+                t
+                for t in neighbors(self.topology, tile.ground, self.width, self.height)
+                if self.is_incoming_clocked(tile, t)
+            ]
+        x, y, w, h = tile.x, tile.y, self.width, self.height
+        offsets = self._in_rows[y % self._period_y][x % self._period_x]
+        out = []
+        for dx, dy in offsets:
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < w and 0 <= ny < h:
+                out.append(Tile(nx, ny))
+        return out
 
     # -- occupancy ---------------------------------------------------------------
 
     def get(self, tile: Tile) -> LayoutGate | None:
-        return self._tiles.get(tile)
+        try:
+            x, y, z = tile
+        except ValueError:
+            x, y = tile
+            z = 0
+        if 0 <= x < self.width and 0 <= y < self.height and (z == 0 or z == 1):
+            return self._grid[z][y * self.width + x]
+        return None
 
     def is_occupied(self, tile: Tile) -> bool:
-        return tile in self._tiles
+        return self.get(tile) is not None
+
+    def num_free_ground(self) -> int:
+        """Unoccupied ground-layer tiles, maintained in O(1)."""
+        return self.width * self.height - self._ground_occupied
+
+    def num_free_border(self) -> int:
+        """Unoccupied ground-layer border positions, maintained in O(1)."""
+        w, h = self.width, self.height
+        border = 2 * (w + h) - 4 if w > 1 and h > 1 else w * h
+        return border - self._border_occupied
+
+    def occupancy_digest(self) -> int:
+        """Zobrist digest of the occupancy state (wires hash distinctly).
+
+        Deterministic for a given grid size and occupancy; maintained
+        incrementally, and restored exactly by :meth:`remove` /
+        :meth:`rollback` — suitable as a key for routing caches.
+        """
+        if self._zobrist is None:
+            rng = random.Random(0x5EED ^ (self.width << 16) ^ self.height)
+            # Two words per position: base occupancy and "is a wire".
+            self._zobrist = [
+                rng.getrandbits(63) for _ in range(4 * self.width * self.height)
+            ]
+            digest = 0
+            for tile, gate in self._tiles.items():
+                digest ^= self._zobrist_words(tile, gate)
+            self.occupancy_hash = digest
+        return self.occupancy_hash
+
+    def _zobrist_words(self, tile: Tile, gate: LayoutGate) -> int:
+        index = 2 * ((tile.z * self.height + tile.y) * self.width + tile.x)
+        word = self._zobrist[index]
+        if gate.gate_type is GateType.BUF:
+            word ^= self._zobrist[index + 1]
+        return word
 
     def __len__(self) -> int:
         """Number of occupied tiles."""
@@ -166,18 +284,43 @@ class GateLayout:
     # -- element creation -----------------------------------------------------------
 
     def _place(self, tile: Tile, gate: LayoutGate) -> Tile:
-        if not self.in_bounds(tile):
-            raise ValueError(f"tile {tile} out of bounds ({self.width}×{self.height})")
-        if tile in self._tiles:
+        x, y, z = tile
+        width = self.width
+        if not (0 <= x < width and 0 <= y < self.height and (z == 0 or z == 1)):
+            raise ValueError(f"tile {tile} out of bounds ({width}×{self.height})")
+        index = y * width + x
+        grid = self._grid[z]
+        if grid[index] is not None:
             raise ValueError(f"tile {tile} already occupied")
+        tiles = self._tiles
         for fanin in gate.fanins:
-            if fanin not in self._tiles:
+            if fanin not in tiles:
                 raise ValueError(f"fanin tile {fanin} of {tile} is empty")
-        if tile.z == 1 and gate.gate_type is not GateType.BUF:
+        if z == 1 and gate.gate_type is not GateType.BUF:
             raise ValueError("crossing layer admits only wire segments")
-        self._tiles[tile] = gate
+        tiles[tile] = gate
+        grid[index] = gate
+        if z == 0:
+            self._ground_occupied += 1
+            if x == 0 or y == 0 or x == width - 1 or y == self.height - 1:
+                self._border_occupied += 1
+        zob = self._zobrist
+        if zob is not None:
+            widx = 2 * ((z * self.height + y) * width + x)
+            word = zob[widx]
+            if gate.gate_type is GateType.BUF:
+                word ^= zob[widx + 1]
+            self.occupancy_hash ^= word
+        self.mutations += 1
+        readers = self._readers
         for fanin in gate.fanins:
-            self._readers.setdefault(fanin, []).append(tile)
+            bucket = readers.get(fanin)
+            if bucket is None:
+                readers[fanin] = [tile]
+            else:
+                bucket.append(tile)
+        if self._journal is not None:
+            self._journal.append(("place", tile))
         return tile
 
     def create_pi(self, tile: Tile, name: str | None = None) -> Tile:
@@ -210,25 +353,48 @@ class GateLayout:
 
     def create_wire(self, tile: Tile, fanin: Tile) -> Tile:
         """Place a wire segment forwarding the signal from ``fanin``."""
-        tile, fanin = Tile(*tile), Tile(*fanin)
+        if tile.__class__ is not Tile:
+            tile = Tile(*tile)
+        if fanin.__class__ is not Tile:
+            fanin = Tile(*fanin)
         return self._place(tile, LayoutGate(GateType.BUF, (fanin,)))
 
     # -- mutation ---------------------------------------------------------------------
 
     def remove(self, tile: Tile) -> LayoutGate:
         """Remove the element on ``tile``; readers keep dangling refs."""
-        tile = Tile(*tile)
+        if tile.__class__ is not Tile:
+            tile = Tile(*tile)
         gate = self._tiles.pop(tile, None)
         if gate is None:
             raise ValueError(f"tile {tile} is empty")
+        x, y, z = tile
+        self._grid[z][y * self.width + x] = None
+        if z == 0:
+            self._ground_occupied -= 1
+            if x == 0 or y == 0 or x == self.width - 1 or y == self.height - 1:
+                self._border_occupied -= 1
+        zob = self._zobrist
+        if zob is not None:
+            widx = 2 * ((z * self.height + y) * self.width + x)
+            word = zob[widx]
+            if gate.gate_type is GateType.BUF:
+                word ^= zob[widx + 1]
+            self.occupancy_hash ^= word
+        self.mutations += 1
+        pi_index = po_index = None
         if gate.is_pi:
-            self._pis.remove(tile)
+            pi_index = self._pis.index(tile)
+            self._pis.pop(pi_index)
         if gate.is_po:
-            self._pos.remove(tile)
+            po_index = self._pos.index(tile)
+            self._pos.pop(po_index)
         for fanin in gate.fanins:
             readers = self._readers.get(fanin)
             if readers and tile in readers:
                 readers.remove(tile)
+        if self._journal is not None:
+            self._journal.append(("remove", tile, gate, pi_index, po_index))
         return gate
 
     def replace_fanin(self, tile: Tile, old: Tile, new: Tile) -> None:
@@ -240,11 +406,16 @@ class GateLayout:
         if old not in gate.fanins:
             raise ValueError(f"{tile} does not read from {old}")
         fanins = tuple(new if f == old else f for f in gate.fanins)
-        self._tiles[tile] = replace(gate, fanins=fanins)
+        rewired = replace(gate, fanins=fanins)
+        self._tiles[tile] = rewired
+        self._grid[tile.z][tile.y * self.width + tile.x] = rewired
+        self.mutations += 1
         readers = self._readers.get(old)
         if readers and tile in readers:
             readers.remove(tile)
         self._readers.setdefault(new, []).append(tile)
+        if self._journal is not None:
+            self._journal.append(("refanin", tile, old, new, gate.fanins))
 
     def move(self, old_tile: Tile, new_tile: Tile, new_fanins=None) -> None:
         """Relocate an element, rewiring its readers to the new tile."""
@@ -266,6 +437,77 @@ class GateLayout:
         for reader in readers:
             if reader in self._tiles:
                 self.replace_fanin(reader, old_tile, new_tile)
+
+    # -- snapshot / rollback -------------------------------------------------------------
+
+    def begin_journal(self) -> None:
+        """Start recording an undo journal for O(1) snapshot/rollback.
+
+        While active, every :meth:`create_* <create_pi>`, :meth:`remove`
+        and :meth:`replace_fanin` appends an undo record (``move`` is
+        journaled through its constituent operations).  Backtracking
+        searches take a :meth:`snapshot` before a tentative mutation
+        burst and :meth:`rollback` to it on failure — the layout state
+        (tiles, readers, PI/PO order, zones, occupancy digest) is
+        restored exactly, without dict copies or heuristic unrouting.
+        """
+        if self._journal is None:
+            self._journal = []
+
+    def end_journal(self) -> None:
+        """Stop recording and drop all undo records."""
+        self._journal = None
+
+    def snapshot(self) -> int:
+        """O(1) marker of the current journal position."""
+        if self._journal is None:
+            raise ValueError("no active journal; call begin_journal() first")
+        return len(self._journal)
+
+    def rollback(self, mark: int) -> None:
+        """Undo every mutation recorded since ``mark`` (LIFO)."""
+        journal = self._journal
+        if journal is None:
+            raise ValueError("no active journal; call begin_journal() first")
+        if mark > len(journal):
+            raise ValueError(f"snapshot {mark} is ahead of the journal")
+        # Undo operations must not journal themselves.
+        self._journal = None
+        try:
+            while len(journal) > mark:
+                record = journal.pop()
+                op = record[0]
+                if op == "place":
+                    self.remove(record[1])
+                elif op == "remove":
+                    _, tile, gate, pi_index, po_index = record
+                    self._place(tile, gate)
+                    if pi_index is not None:
+                        self._pis.insert(pi_index, tile)
+                    if po_index is not None:
+                        self._pos.insert(po_index, tile)
+                elif op == "refanin":
+                    _, tile, old, new, old_fanins = record
+                    gate = self._tiles[tile]
+                    restored = replace(gate, fanins=old_fanins)
+                    self._tiles[tile] = restored
+                    self._grid[tile.z][tile.y * self.width + tile.x] = restored
+                    self.mutations += 1
+                    readers = self._readers.get(new)
+                    if readers and tile in readers:
+                        readers.remove(tile)
+                    self._readers.setdefault(old, []).append(tile)
+                elif op == "zone":
+                    _, tile, old_zone = record
+                    if old_zone is None:
+                        self._zones.pop(tile, None)
+                    else:
+                        self._zones[tile] = old_zone
+                    self.mutations += 1
+                else:  # pragma: no cover - defensive
+                    raise AssertionError(f"unknown journal record {op!r}")
+        finally:
+            self._journal = journal
 
     # -- connectivity -------------------------------------------------------------------
 
@@ -364,6 +606,9 @@ class GateLayout:
         out._pos = list(self._pos)
         out._zones = dict(self._zones)
         out._readers = {k: list(v) for k, v in self._readers.items()}
+        out._grid = [list(layer) for layer in self._grid]
+        out._ground_occupied = self._ground_occupied
+        out._border_occupied = self._border_occupied
         return out
 
     # -- rendering ------------------------------------------------------------------------

@@ -25,6 +25,16 @@ the SMT formulation: a placement may be rejected because its greedy
 routes collide even though smarter wiring existed.  In practice this
 costs at most a tile or two of area on the benchmark set while keeping
 pure-Python runtimes tractable.
+
+With ``ExactParams.optimized`` (the default) the search runs on the fast
+physical-design core: the arena-based A* engine, journal-based O(1)
+snapshot/rollback instead of remove-and-unroute backtracking, O(1)
+free-tile and border-I/O lower-bound pruning, dead-signal subtree
+pruning, reachability floods memoized by the layout's occupancy digest,
+chain-window pruning on monotone schemes (2DDWave/ROW) and
+first-placement transpose symmetry breaking on square 2DDWave grids.
+``optimized=False`` reproduces the original (pre-optimization) search
+behaviour and serves as the benchmark baseline.
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ from ..layout.coordinates import Tile, Topology
 from ..layout.gate_layout import GateLayout
 from ..networks.logic_network import GateType, LogicNetwork
 from ..networks.transforms import decompose_to_aoig, prepare_for_layout
-from .routing import RoutingOptions, find_path, unroute
+from .routing import RoutingOptions, _arena_for, find_path, unroute
 
 
 @dataclass
@@ -70,6 +80,11 @@ class ExactParams:
     #: schemes (USE/RES/ESR) tractable at the cost of exactness, which
     #: DESIGN.md documents as part of the SMT-solver substitution.
     candidate_cap: int | None = 16
+    #: Run on the fast physical-design core (arena A*, journal rollback,
+    #: memoized reachability, lower-bound/dead-signal/chain-window
+    #: pruning, symmetry breaking).  Turn off to reproduce the original
+    #: search as a benchmark baseline.
+    optimized: bool = True
     routing: RoutingOptions = field(default_factory=lambda: RoutingOptions(crossing_penalty=1))
 
 
@@ -106,9 +121,21 @@ def exact_layout(network: LogicNetwork, params: ExactParams | None = None) -> Ex
     elements = _search_order(ntk)
     lower_bound = len(elements)
 
+    ratios = _aspect_ratios(params, lower_bound)
+    if params.optimized:
+        # Monotone-scheme chain bound: on 2DDWave every fanin connection
+        # strictly increases x + y, on ROW it strictly increases y, so a
+        # ratio whose diagonal (resp. height) cannot accommodate the
+        # longest PI→PO element chain is infeasible without searching.
+        chain = _longest_chain(ntk)
+        if params.scheme is TWODDWAVE and params.topology is Topology.CARTESIAN:
+            ratios = [(w, h) for w, h in ratios if (w - 1) + (h - 1) >= chain]
+        elif params.scheme is ROW:
+            ratios = [(w, h) for w, h in ratios if h - 1 >= chain]
+
     explored = 0
     timed_out = False
-    for width, height in _aspect_ratios(params, lower_bound):
+    for width, height in ratios:
         if time.monotonic() > deadline:
             timed_out = True
             break
@@ -120,6 +147,7 @@ def exact_layout(network: LogicNetwork, params: ExactParams | None = None) -> Ex
         searcher = _Searcher(ntk, elements, layout, params, ratio_deadline)
         try:
             if searcher.search(0):
+                layout.end_journal()
                 layout.shrink_to_fit()
                 return ExactResult(layout, time.monotonic() - started, False, explored)
         except _Timeout:
@@ -141,6 +169,43 @@ def _aspect_ratios(params: ExactParams, lower_bound: int):
     ]
     pairs.sort(key=lambda wh: (wh[0] * wh[1], abs(wh[0] - wh[1]), wh[0]))
     return [p for p in pairs if p[0] * p[1] >= lower_bound]
+
+
+def _chain_bounds(ntk: LogicNetwork) -> tuple[dict[int, int], dict[int, int]]:
+    """Per-node longest chains: (edges from any PI, edges to any PO).
+
+    Every element-DAG edge (gate fanin or PO read) is realised by at
+    least one grid step, so these are lower bounds on the wiring span
+    any monotone-scheme layout must provide before/after each element.
+    Constant fanins are not placed and contribute no edge.
+    """
+    order = [u for u in ntk.topological_order() if not ntk.is_constant(u)]
+    from_pi: dict[int, int] = {}
+    for uid in order:
+        node = ntk.node(uid)
+        from_pi[uid] = max(
+            (from_pi[f] + 1 for f in node.fanins if not ntk.is_constant(f)),
+            default=0,
+        )
+    to_po: dict[int, int] = {uid: 0 for uid in order}
+    for signal, _name in ntk.pos():
+        if signal in to_po:
+            to_po[signal] = 1
+    for uid in reversed(order):
+        node = ntk.node(uid)
+        for f in node.fanins:
+            if f in to_po and to_po[f] < to_po[uid] + 1:
+                to_po[f] = to_po[uid] + 1
+    return from_pi, to_po
+
+
+def _longest_chain(ntk: LogicNetwork) -> int:
+    """Edges on the longest PI→PO chain of placeable elements."""
+    from_pi, _ = _chain_bounds(ntk)
+    longest = 0
+    for signal, _name in ntk.pos():
+        longest = max(longest, from_pi.get(signal, 0) + 1)
+    return longest
 
 
 def _search_order(ntk: LogicNetwork):
@@ -165,13 +230,86 @@ class _Searcher:
         self.params = params
         self.deadline = deadline
         self.position: dict[int, Tile] = {}
+        self.optimized = params.optimized and layout.scheme.regular
         self.routing = RoutingOptions(
             allow_crossings=params.routing.allow_crossings,
             crossing_penalty=params.routing.crossing_penalty,
             max_length=min(params.max_wire_length, layout.width + layout.height),
             max_expansions=2000,
+            engine="fast" if self.optimized else "reference",
         )
         self._tick = 0
+        # Candidate tile orders are placement-independent; compute once
+        # per ratio instead of re-sorting inside every search node.
+        self._all_list = [
+            Tile(x, y) for y in range(layout.height) for x in range(layout.width)
+        ]
+        w, h = layout.width, layout.height
+        self._border_list = [
+            Tile(x, y)
+            for x in range(w)
+            for y in range(h)
+            if x in (0, w - 1) or y in (0, h - 1)
+        ]
+        pi_tiles = list(self._border_list if params.border_io else self._all_list)
+        if layout.scheme is ROW:
+            pi_tiles.sort(key=lambda t: (t.y, t.x))
+        else:
+            pi_tiles.sort(key=lambda t: (t.x + t.y, t.y, t.x))
+        self._pi_sorted = pi_tiles
+        if self.optimized:
+            self.layout.begin_journal()
+            self.layout.occupancy_digest()  # materialise the Zobrist table
+            self._reach_memo: dict = {}
+            # Dead-signal tracking: placed elements that still owe a
+            # connection to an unplaced reader.  If such a signal has no
+            # admissible free outgoing step, no completion exists below
+            # this node (tiles are only added while descending).
+            n_readers: dict[int, int] = {}
+            for kind, payload in elements:
+                if kind == "po":
+                    n_readers[payload[1]] = n_readers.get(payload[1], 0) + 1
+                else:
+                    for f in ntk.node(payload).fanins:
+                        if not ntk.is_constant(f):
+                            n_readers[f] = n_readers.get(f, 0) + 1
+            self._n_readers = n_readers
+            self._owed = dict(n_readers)
+            self._pending: dict[int, Tile] = {}
+            # Suffix counts of border-bound elements (PIs + POs) for the
+            # border-capacity lower bound.
+            n = len(elements)
+            suffix = [0] * (n + 1)
+            for d in range(n - 1, -1, -1):
+                kind, payload = elements[d]
+                is_io = kind == "po" or ntk.node(payload).gate_type is GateType.PI
+                suffix[d] = suffix[d + 1] + (1 if is_io else 0)
+            self._io_suffix = suffix
+            # Transpose symmetry: a square 2DDWave grid maps any layout
+            # to its transpose, so the first PI can be confined to the
+            # lower-left triangle without losing feasibility.
+            self._break_transpose = (
+                layout.scheme is TWODDWAVE
+                and layout.topology is Topology.CARTESIAN
+                and layout.width == layout.height
+            )
+            # Chain windows (monotone schemes): an element with ``a``
+            # chain edges above it and ``b`` below it can only sit where
+            # the monotone axis leaves room for both.  Candidates outside
+            # the window are doomed, so filtering them (after capping)
+            # preserves search outcomes exactly.
+            self._monotone = None
+            if layout.scheme is TWODDWAVE and layout.topology is Topology.CARTESIAN:
+                self._monotone = "diag"
+                self._span = layout.width + layout.height - 2
+            elif layout.scheme is ROW:
+                self._monotone = "row"
+                self._span = layout.height - 1
+            if self._monotone:
+                self._from_pi, self._to_po = _chain_bounds(ntk)
+        else:
+            self._break_transpose = False
+            self._monotone = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -179,18 +317,6 @@ class _Searcher:
         self._tick += 1
         if self._tick % 64 == 0 and time.monotonic() > self.deadline:
             raise _Timeout
-
-    def _border_tiles(self):
-        w, h = self.layout.width, self.layout.height
-        for x in range(w):
-            for y in range(h):
-                if x in (0, w - 1) or y in (0, h - 1):
-                    yield Tile(x, y)
-
-    def _all_tiles(self):
-        for y in range(self.layout.height):
-            for x in range(self.layout.width):
-                yield Tile(x, y)
 
     def _free_tiles_needed(self, depth: int) -> bool:
         """Prune: every unplaced element needs at least one free tile."""
@@ -200,13 +326,83 @@ class _Searcher:
         )
         return free >= remaining
 
+    def _free(self, tiles) -> list[Tile]:
+        """The unoccupied (ground-layer) tiles of ``tiles``, in order."""
+        ground = self.layout._grid[0]
+        w = self.layout.width
+        return [t for t in tiles if ground[t.y * w + t.x] is None]
+
+    def _window(self, tiles: list[Tile], lo: int, hi: int) -> list[Tile]:
+        """Keep tiles whose monotone-axis value lies in [lo, hi]."""
+        if self._monotone == "diag":
+            return [t for t in tiles if lo <= t.x + t.y <= hi]
+        return [t for t in tiles if lo <= t.y <= hi]
+
+    def _track_place(self, uid: int | None, fanin_uids, tile: Tile | None) -> None:
+        """Update the pending-signal map after placing an element."""
+        owed = self._owed
+        pending = self._pending
+        for f in fanin_uids:
+            owed[f] -= 1
+            if not owed[f]:
+                pending.pop(f, None)
+        if uid is not None and self._n_readers.get(uid):
+            pending[uid] = tile
+
+    def _track_unplace(self, uid: int | None, fanin_uids) -> None:
+        if uid is not None:
+            self._pending.pop(uid, None)
+        owed = self._owed
+        pending = self._pending
+        position = self.position
+        for f in fanin_uids:
+            owed[f] += 1
+            if owed[f] == 1:
+                pending[f] = position[f]
+
+    def _dead_signal(self) -> bool:
+        """True if some placed signal with pending readers cannot escape.
+
+        A pending reader must route *from* the signal's tile, and the
+        first A* step needs an outgoing neighbour that is either free
+        ground (wire or the reader's own placement) or a crossable BUF.
+        Tiles are only ever added while descending, so a signal that is
+        walled in now stays walled in throughout the subtree.
+        """
+        layout = self.layout
+        succ = _arena_for(layout).succ
+        ground, above = layout._grid
+        allow_cross = self.routing.allow_crossings
+        buf = GateType.BUF
+        w = layout.width
+        for p in self._pending.values():
+            for n_g in succ[p.y * w + p.x]:
+                gate = ground[n_g]
+                if gate is None:
+                    break
+                if allow_cross and gate.gate_type is buf and above[n_g] is None:
+                    break
+            else:
+                return True
+        return False
+
     # -- search ------------------------------------------------------------
 
     def search(self, depth: int) -> bool:
         self._check_time()
         if depth == len(self.elements):
             return True
-        if not self._free_tiles_needed(depth):
+        if self.optimized:
+            if len(self.elements) - depth > self.layout.num_free_ground():
+                return False
+            if (
+                self.params.border_io
+                and self._io_suffix[depth] > self.layout.num_free_border()
+            ):
+                return False
+            if self._pending and self._dead_signal():
+                return False
+        elif not self._free_tiles_needed(depth):
             return False
         kind, payload = self.elements[depth]
         if kind == "po":
@@ -217,28 +413,33 @@ class _Searcher:
             return self._place_pi(depth, uid, node)
         return self._place_gate(depth, uid, node)
 
-    def _pi_candidates(self):
-        tiles = list(self._border_tiles() if self.params.border_io else self._all_tiles())
-        if self.layout.scheme is ROW:
-            tiles.sort(key=lambda t: (t.y, t.x))
-        else:
-            tiles.sort(key=lambda t: (t.x + t.y, t.y, t.x))
-        return tiles
-
     def _place_pi(self, depth: int, uid: int, node) -> bool:
-        candidates = [t for t in self._pi_candidates() if not self.layout.is_occupied(t)]
-        for tile in self._capped(candidates):
-            self.layout.create_pi(tile, node.name)
+        candidates = self._free(self._pi_sorted)
+        if depth == 0 and self._break_transpose:
+            candidates = [t for t in candidates if t.x <= t.y]
+        layout = self.layout
+        candidates = self._capped(candidates)
+        if self._monotone:
+            candidates = self._window(candidates, 0, self._span - self._to_po[uid])
+        for tile in candidates:
+            mark = layout.snapshot() if self.optimized else None
+            layout.create_pi(tile, node.name)
             self.position[uid] = tile
+            if mark is not None:
+                self._track_place(uid, (), tile)
             if self.search(depth + 1):
                 return True
-            self.layout.remove(tile)
             del self.position[uid]
+            if mark is not None:
+                self._track_unplace(uid, ())
+                layout.rollback(mark)
+            else:
+                layout.remove(tile)
         return False
 
     def _gate_candidates(self, fanins: list[Tile]):
         """Free tiles ordered by distance from the fanins' frontier."""
-        tiles = [t for t in self._all_tiles() if not self.layout.is_occupied(t)]
+        tiles = self._free(self._all_list)
         if self.layout.scheme is TWODDWAVE:
             # On a monotone scheme the gate must dominate all its fanins,
             # because every wire step strictly increases x + y.
@@ -252,51 +453,140 @@ class _Searcher:
             tiles = [t for t in tiles if t.y > min_y]
         anchor_x = sum(f.x for f in fanins) / len(fanins)
         anchor_y = sum(f.y for f in fanins) / len(fanins)
-        tiles.sort(key=lambda t: (abs(t.x - anchor_x) + abs(t.y - anchor_y), t.x + t.y, t.x))
-        return self._capped(tiles)
+        decorated = sorted(
+            (abs(t[0] - anchor_x) + abs(t[1] - anchor_y), t[0] + t[1], t[0], t)
+            for t in tiles
+        )
+        return self._capped([d[3] for d in decorated])
 
     def _place_gate(self, depth: int, uid: int, node) -> bool:
         fanins = [self.position[f] for f in node.fanins]
-        for tile in self._gate_candidates(fanins):
+        candidates = self._gate_candidates(fanins)
+        layout = self.layout
+        if self._monotone:
+            candidates = self._window(
+                candidates, self._from_pi[uid], self._span - self._to_po[uid]
+            )
+        if self.optimized:
+            # Reachability flood: a candidate is viable only if every
+            # fanin can reach it at all (over-approximation of the
+            # constrained A*), which kills hopeless A* calls wholesale.
+            reaches = [self._reachable(f) for f in fanins]
+            w = layout.width
+            candidates = [
+                t for t in candidates if all(t.y * w + t.x in r for r in reaches)
+            ]
+        for tile in candidates:
             self._check_time()
+            mark = layout.snapshot() if self.optimized else None
             refs = self._route_fanins(fanins, tile)
             if refs is None:
+                if mark is not None:
+                    layout.rollback(mark)
                 continue
-            self.layout.create_gate(node.gate_type, tile, refs, node.name)
+            layout.create_gate(node.gate_type, tile, refs, node.name)
             self.position[uid] = tile
+            if mark is not None:
+                self._track_place(uid, node.fanins, tile)
             if self.search(depth + 1):
                 return True
-            self.layout.remove(tile)
             del self.position[uid]
-            for ref, src in zip(refs, fanins):
-                unroute(self.layout, ref, src)
+            if mark is not None:
+                self._track_unplace(uid, node.fanins)
+                layout.rollback(mark)
+            else:
+                layout.remove(tile)
+                for ref, src in zip(refs, fanins):
+                    unroute(layout, ref, src)
         return False
 
     def _place_po(self, depth: int, payload) -> bool:
         index, signal, name = payload
         driver = self.position[signal]
-        candidates = [
-            t
-            for t in (self._border_tiles() if self.params.border_io else self._all_tiles())
-            if not self.layout.is_occupied(t)
-        ]
+        candidates = self._free(
+            self._border_list if self.params.border_io else self._all_list
+        )
         candidates.sort(key=lambda t: (abs(t.x - driver.x) + abs(t.y - driver.y), t.x, t.y))
-        for tile in self._capped(candidates):
+        layout = self.layout
+        capped = self._capped(candidates)
+        if self._monotone:
+            capped = self._window(
+                capped, self._from_pi.get(signal, 0) + 1, self._span
+            )
+        if self.optimized:
+            reach = self._reachable(driver)
+            w = layout.width
+            capped = [t for t in capped if t.y * w + t.x in reach]
+        for tile in capped:
             self._check_time()
+            mark = layout.snapshot() if self.optimized else None
             refs = self._route_fanins([driver], tile)
             if refs is None:
+                if mark is not None:
+                    layout.rollback(mark)
                 continue
-            self.layout.create_po(tile, refs[0], name or f"po{index}")
+            layout.create_po(tile, refs[0], name or f"po{index}")
+            if mark is not None:
+                self._track_place(None, (signal,), None)
             if self.search(depth + 1):
                 return True
-            self.layout.remove(tile)
-            unroute(self.layout, refs[0], driver)
+            if mark is not None:
+                self._track_unplace(None, (signal,))
+                layout.rollback(mark)
+            else:
+                layout.remove(tile)
+                unroute(layout, refs[0], driver)
         return False
 
     def _capped(self, tiles):
         if self.params.candidate_cap is None:
             return tiles
         return tiles[: self.params.candidate_cap]
+
+    # -- memoized reachability ---------------------------------------------
+
+    def _reachable(self, source: Tile) -> set[int]:
+        """Ground indices reachable from ``source`` by any wire path.
+
+        An occupancy-only flood over the clock-admissible successor
+        table: no wire-length cap, no avoid set, no expansion budget —
+        a strict over-approximation of what the in-search A* can do, so
+        filtering candidates through it never prunes a routable one.
+        """
+        # The Zobrist table was materialised in __init__, so the layout
+        # maintains ``occupancy_hash`` incrementally — no digest call.
+        key = (source.ground, self.layout.occupancy_hash)
+        memo = self._reach_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        layout = self.layout
+        succ = _arena_for(layout).succ
+        ground, above = layout._grid
+        allow_cross = self.routing.allow_crossings
+        buf = GateType.BUF
+        start = source.y * layout.width + source.x
+        reach: set[int] = set()
+        visited = {start}
+        queue = [start]
+        while queue:
+            g = queue.pop()
+            for n_g in succ[g]:
+                reach.add(n_g)
+                if n_g in visited:
+                    continue
+                gate = ground[n_g]
+                if gate is None:
+                    if above[n_g] is not None and not allow_cross:
+                        continue
+                elif not (allow_cross and gate.gate_type is buf and above[n_g] is None):
+                    continue
+                visited.add(n_g)
+                queue.append(n_g)
+        if len(memo) >= 4096:
+            memo.clear()
+        memo[key] = reach
+        return reach
 
     def _route_fanins(self, fanins: list[Tile], target: Tile) -> list[Tile] | None:
         """Route all fanins into ``target`` with distinct entry sides."""
@@ -312,13 +602,15 @@ class _Searcher:
                     max_length=options.max_length,
                     max_expansions=options.max_expansions,
                     avoid=taken,
+                    engine=options.engine,
                 )
             path = find_path(self.layout, fanin, target, options)
             if path is None or (
                 len(path) >= 2 and refs and path[-2].ground in {r.ground for r in refs}
             ):
-                for end, src in ends:
-                    unroute(self.layout, end, src)
+                if not self.optimized:
+                    for end, src in ends:
+                        unroute(self.layout, end, src)
                 return None
             previous = path[0]
             for pos in path[1:-1]:

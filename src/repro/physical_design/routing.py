@@ -10,6 +10,20 @@ to tile *v* is admissible only when ``zone(v) == zone(u) + 1 (mod 4)`` —
 so on 2DDWave the search space automatically degenerates to monotone
 east/south staircases, while feedback-capable schemes (USE, RES, ESR)
 expose their full loop structure.
+
+Two engines implement the same search:
+
+* the **fast** engine (default) runs over flat integer node arrays with
+  reusable open/closed arenas and per-grid successor tables derived from
+  the precomputed clock-neighbour tables
+  (:func:`repro.layout.clocking.neighbor_tables`), so the hot loop does
+  no ``Tile`` allocation, no zone arithmetic, and no dict hashing;
+* the **reference** engine is the original tile-dict implementation,
+  kept selectable (``RoutingOptions(engine="reference")``) for
+  differential testing and benchmark baselines.
+
+Both engines expand nodes in the same order and break f-score ties by
+insertion order, so they return bit-identical paths.
 """
 
 from __future__ import annotations
@@ -19,7 +33,8 @@ import itertools
 from dataclasses import dataclass
 
 from ..networks.logic_network import GateType
-from ..layout.coordinates import Tile, grid_distance, neighbors
+from ..layout.clocking import ClockingScheme, neighbor_tables
+from ..layout.coordinates import Tile, Topology, grid_distance, neighbors
 from ..layout.gate_layout import GateLayout
 
 
@@ -37,6 +52,10 @@ class RoutingOptions:
     #: Positions the path must not use (escape corridors of signals that
     #: still have readers waiting; see the ortho sealing checks).
     avoid: frozenset = frozenset()
+    #: ``"fast"`` (arena-based) or ``"reference"`` (original tile-dict
+    #: implementation).  Both return identical paths; the reference
+    #: engine exists for differential tests and benchmark baselines.
+    engine: str = "fast"
 
 
 def find_path(
@@ -61,7 +80,191 @@ def find_path(
         raise ValueError(f"routing source {source} is empty")
     if source.ground == target.ground:
         return None
+    if options.engine == "reference" or not layout.scheme.regular:
+        return _find_path_reference(layout, source, target, options)
+    return _find_path_fast(layout, source, target, options)
 
+
+# -- fast engine -----------------------------------------------------------------------
+
+
+class _RouteArena:
+    """Reusable per-grid search state for the fast A* engine.
+
+    Nodes are flat integers ``z * width * height + y * width + x``.  The
+    ``succ`` table maps each ground index to its clock-admissible
+    in-bounds neighbour indices (in the same order the reference engine
+    visits them), so the hot loop touches no Tile objects.  ``visit``
+    carries a generation stamp: bumping ``stamp`` invalidates the whole
+    closed set in O(1), letting thousands of routing calls share the
+    same arrays without clearing them.
+    """
+
+    __slots__ = (
+        "width", "height", "n_ground", "succ", "xs", "ys",
+        "stamp", "visit", "cost", "parent",
+    )
+
+    def __init__(self, width: int, height: int, scheme: ClockingScheme, topology: Topology) -> None:
+        tables = neighbor_tables(scheme, topology)
+        self.width = width
+        self.height = height
+        n = width * height
+        self.n_ground = n
+        px, py = tables.period_x, tables.period_y
+        out_rows = tables.outgoing
+        succ: list[tuple[int, ...]] = []
+        for y in range(height):
+            row = out_rows[y % py]
+            for x in range(width):
+                cell: list[int] = []
+                for dx, dy in row[x % px]:
+                    nx, ny = x + dx, y + dy
+                    if 0 <= nx < width and 0 <= ny < height:
+                        cell.append(ny * width + nx)
+                succ.append(tuple(cell))
+        self.succ = succ
+        self.xs = [i % width for i in range(n)]
+        self.ys = [i // width for i in range(n)]
+        self.stamp = 0
+        self.visit = [0] * (2 * n)
+        self.cost = [0] * (2 * n)
+        self.parent = [0] * (2 * n)
+
+
+def _arena_for(layout: GateLayout) -> _RouteArena:
+    """The layout's reusable search arena (lazily built, reset on resize)."""
+    arena = layout._route_arena
+    if arena is None:
+        arena = _RouteArena(layout.width, layout.height, layout.scheme, layout.topology)
+        layout._route_arena = arena
+    return arena
+
+
+def _find_path_fast(
+    layout: GateLayout, source: Tile, target: Tile, options: RoutingOptions
+) -> list[Tile] | None:
+    width, height = layout.width, layout.height
+    tx, ty = target.x, target.y
+    if not (0 <= tx < width and 0 <= ty < height):
+        return None
+    arena = _arena_for(layout)
+    arena.stamp += 1
+    stamp = arena.stamp
+    visit, costs, parents, succ = arena.visit, arena.cost, arena.parent, arena.succ
+    xs, ys = arena.xs, arena.ys
+    n_ground = arena.n_ground
+    ground, above = layout._grid[0], layout._grid[1]
+    avoid = options.avoid
+    allow_cross = options.allow_crossings
+    cpen = options.crossing_penalty
+    max_exp = options.max_expansions
+    cap = None if options.max_length is None else options.max_length + 1
+    buf = GateType.BUF
+    hexa = layout.topology is not Topology.CARTESIAN
+
+    t_gidx = ty * width + tx
+    src_idx = (source.z * height + source.y) * width + source.x
+
+    if hexa:
+        taq = tx - (ty + (ty & 1)) // 2
+
+        def h(gidx: int) -> int:
+            y = ys[gidx]
+            aq = xs[gidx] - (y + (y & 1)) // 2
+            return (abs(aq - taq) + abs(y - ty) + abs(aq + y - taq - ty)) // 2
+
+    else:
+        h = None
+
+    visit[src_idx] = stamp
+    costs[src_idx] = 0
+    src_gidx = src_idx - n_ground if src_idx >= n_ground else src_idx
+    if h is None:
+        h0 = abs(xs[src_gidx] - tx) + abs(ys[src_gidx] - ty)
+    else:
+        h0 = h(src_gidx)
+    heap: list[tuple[int, int, int, int]] = [(h0, 0, 0, src_idx)]
+    counter = 1
+    expansions = 0
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    while heap:
+        _, _, cost, idx = heappop(heap)
+        if cost > costs[idx]:
+            continue
+        gidx = idx - n_ground if idx >= n_ground else idx
+        if gidx == t_gidx and idx != src_idx:
+            return _reconstruct_fast(
+                parents, src_idx, idx, target, width, height, n_ground
+            )
+        expansions += 1
+        if expansions > max_exp:
+            return None
+        for n_g in succ[gidx]:
+            if n_g == t_gidx:
+                step_idx = n_g
+                step_cost = cost + 1
+            else:
+                gate = ground[n_g]
+                if gate is None:
+                    # Stepping under an existing crossing-layer wire is
+                    # itself a crossing; honour allow_crossings.
+                    if above[n_g] is not None and not allow_cross:
+                        continue
+                    if avoid and (xs[n_g], ys[n_g], 0) in avoid:
+                        continue
+                    step_idx = n_g
+                    step_cost = cost + 1
+                elif allow_cross and gate.gate_type is buf and above[n_g] is None:
+                    if avoid and (xs[n_g], ys[n_g], 1) in avoid:
+                        continue
+                    step_idx = n_g + n_ground
+                    step_cost = cost + 1 + cpen
+                else:
+                    continue
+            if cap is not None and step_cost > cap:
+                continue
+            if visit[step_idx] == stamp and step_cost >= costs[step_idx]:
+                continue
+            visit[step_idx] = stamp
+            costs[step_idx] = step_cost
+            parents[step_idx] = idx
+            if h is None:
+                f = step_cost + abs(xs[n_g] - tx) + abs(ys[n_g] - ty)
+            else:
+                f = step_cost + h(n_g)
+            heappush(heap, (f, counter, step_cost, step_idx))
+            counter += 1
+    return None
+
+
+def _reconstruct_fast(
+    parents: list[int],
+    src_idx: int,
+    last_idx: int,
+    target: Tile,
+    width: int,
+    height: int,
+    n_ground: int,
+) -> list[Tile]:
+    path = [target]
+    idx = last_idx
+    while idx != src_idx:
+        idx = parents[idx]
+        z, rem = divmod(idx, n_ground)
+        y, x = divmod(rem, width)
+        path.append(Tile(x, y, z))
+    path.reverse()
+    return path
+
+
+# -- reference engine ------------------------------------------------------------------
+
+
+def _find_path_reference(
+    layout: GateLayout, source: Tile, target: Tile, options: RoutingOptions
+) -> list[Tile] | None:
     counter = itertools.count()
     start_cost = 0
     open_heap: list[tuple[int, int, int, Tile]] = []
@@ -113,6 +316,10 @@ def _admissible_steps(
             continue
         ground_gate = layout.get(n)
         if ground_gate is None:
+            # Stepping under an existing crossing-layer wire is itself a
+            # crossing; honour allow_crossings.
+            if not options.allow_crossings and layout.is_occupied(n.above):
+                continue
             if n not in options.avoid:
                 steps.append(n)
         elif (
@@ -133,6 +340,9 @@ def _reconstruct(parents: dict, source: Tile, last: Tile, target: Tile) -> list[
         path.append(node)
     path.reverse()
     return path
+
+
+# -- materialisation -------------------------------------------------------------------
 
 
 def route(
@@ -164,10 +374,17 @@ def unroute(layout: GateLayout, fanin_end: Tile, source: Tile) -> None:
 
     Used for backtracking: deletes wire segments (which must form a
     single-reader chain) until reaching ``source`` or a tile with other
-    readers.
+    readers.  Crossing-layer segments are removed exactly like ground
+    segments (each wire records its own layer in its tile), so a
+    route → unroute round-trip restores the layout bit for bit; the
+    regression tests in ``tests/physical_design/test_unroute.py`` pin
+    this down, including second-layer crossings and shared fanout stubs.
     """
-    current = fanin_end
-    while current != source:
+    current = Tile(*fanin_end)
+    source = Tile(*source)
+    seen: set[Tile] = set()
+    while current != source and current not in seen:
+        seen.add(current)
         gate = layout.get(current)
         if gate is None or gate.gate_type is not GateType.BUF:
             break

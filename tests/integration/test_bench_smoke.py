@@ -1,0 +1,34 @@
+"""CI smoke check: the physical-design benchmark harness must run.
+
+Executes ``benchmarks/bench_physical_design.py --quick`` as a
+subprocess — the same invocation CI uses — and checks that it produces
+a well-formed result file with a passing exact-flow comparison.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH = REPO_ROOT / "benchmarks" / "bench_physical_design.py"
+
+
+def test_quick_bench_runs(tmp_path):
+    output = tmp_path / "bench.json"
+    result = subprocess.run(
+        [sys.executable, str(BENCH), "--quick", "--output", str(output)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "median speedup" in result.stdout
+
+    data = json.loads(output.read_text())
+    assert data["quick"] is True
+    for flow in ("exact", "ortho", "nanoplacer"):
+        assert data[flow]["cases"], flow
+        for row in data[flow]["cases"]:
+            assert row["equal_area"], row

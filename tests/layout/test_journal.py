@@ -1,0 +1,165 @@
+"""Tests for the layout's undo journal (O(1) snapshot/rollback).
+
+The optimized exact search backtracks through the journal instead of
+remove-and-unroute; these tests pin down that a rollback restores the
+complete observable state — tiles, grids, counters, reader lists,
+PI/PO order, clock zones and the occupancy digest — bit for bit.
+"""
+
+import pytest
+
+from repro.layout import GateLayout, OPEN, TWODDWAVE, Tile
+from repro.networks import GateType
+
+
+def _state(layout: GateLayout):
+    return (
+        dict(layout._tiles),
+        layout.pis(),
+        layout.pos(),
+        {k: list(v) for k, v in layout._readers.items() if v},
+        layout.occupancy_digest(),
+        layout.num_free_ground(),
+        layout.num_free_border(),
+        len(layout),
+    )
+
+
+def small_layout():
+    layout = GateLayout(5, 5, TWODDWAVE)
+    layout.begin_journal()
+    return layout
+
+
+class TestSnapshotRollback:
+    def test_rollback_undoes_placements(self):
+        layout = small_layout()
+        a = layout.create_pi(Tile(0, 0), "a")
+        before = _state(layout)
+        mark = layout.snapshot()
+        b = layout.create_pi(Tile(0, 1), "b")
+        w = layout.create_wire(Tile(1, 0), a)
+        layout.create_gate(GateType.AND, Tile(1, 1), [w, b], "g")
+        layout.rollback(mark)
+        assert _state(layout) == before
+
+    def test_rollback_undoes_removals(self):
+        layout = small_layout()
+        a = layout.create_pi(Tile(0, 0), "a")
+        b = layout.create_pi(Tile(1, 0), "b")
+        layout.create_po(Tile(2, 0), b, "f")
+        before = _state(layout)
+        mark = layout.snapshot()
+        layout.remove(Tile(2, 0))
+        layout.remove(b)
+        layout.rollback(mark)
+        assert _state(layout) == before
+        # PI order must survive the round-trip exactly.
+        assert layout.pis() == [a, b]
+
+    def test_rollback_undoes_replace_fanin(self):
+        layout = small_layout()
+        a = layout.create_pi(Tile(0, 0), "a")
+        b = layout.create_pi(Tile(0, 1), "b")
+        gate = layout.create_gate(GateType.AND, Tile(1, 1), [a, b], "g")
+        before = _state(layout)
+        mark = layout.snapshot()
+        w = layout.create_wire(Tile(1, 0), a)
+        layout.replace_fanin(gate, a, w)
+        layout.rollback(mark)
+        assert _state(layout) == before
+
+    def test_rollback_with_duplicate_fanins(self):
+        # (a, a) → replace one a → rollback must restore (a, a), not
+        # collapse to the other operand.
+        layout = small_layout()
+        a = layout.create_pi(Tile(0, 0), "a")
+        gate = layout.create_gate(GateType.AND, Tile(1, 0), [a, a], "g")
+        before = _state(layout)
+        mark = layout.snapshot()
+        w = layout.create_wire(Tile(0, 1), a)
+        layout.replace_fanin(gate, a, w)
+        layout.rollback(mark)
+        assert _state(layout) == before
+        assert layout.get(gate).fanins == (a, a)
+
+    def test_nested_snapshots_unwind_lifo(self):
+        layout = small_layout()
+        layout.create_pi(Tile(0, 0), "a")
+        outer_state = _state(layout)
+        outer = layout.snapshot()
+        layout.create_pi(Tile(0, 1), "b")
+        inner_state = _state(layout)
+        inner = layout.snapshot()
+        layout.create_pi(Tile(0, 2), "c")
+        layout.rollback(inner)
+        assert _state(layout) == inner_state
+        layout.rollback(outer)
+        assert _state(layout) == outer_state
+
+    def test_rollback_restores_crossings(self):
+        layout = small_layout()
+        a = layout.create_pi(Tile(0, 1), "a")
+        w = layout.create_wire(Tile(1, 1), a)
+        before = _state(layout)
+        mark = layout.snapshot()
+        crossing = layout.create_wire(Tile(1, 1, 1), w)
+        assert layout.get(crossing) is not None
+        layout.rollback(mark)
+        assert _state(layout) == before
+        assert layout.get(Tile(1, 1, 1)) is None
+
+    def test_rollback_restores_open_zones(self):
+        layout = GateLayout(4, 4, OPEN)
+        layout.begin_journal()
+        layout.assign_zone(Tile(0, 0), 2)
+        before_zone = layout.zone(Tile(1, 0))
+        mark = layout.snapshot()
+        layout.assign_zone(Tile(1, 0), 3)
+        layout.rollback(mark)
+        assert layout.zone(Tile(1, 0)) == before_zone
+        assert layout.zone(Tile(0, 0)) == 2
+
+
+class TestJournalGuards:
+    def test_snapshot_requires_journal(self):
+        layout = GateLayout(3, 3, TWODDWAVE)
+        with pytest.raises(ValueError):
+            layout.snapshot()
+        with pytest.raises(ValueError):
+            layout.rollback(0)
+
+    def test_stale_mark_rejected(self):
+        layout = small_layout()
+        mark = layout.snapshot()
+        with pytest.raises(ValueError):
+            layout.rollback(mark + 1)
+
+    def test_resize_rejected_while_journaling(self):
+        layout = small_layout()
+        with pytest.raises(ValueError):
+            layout.resize(7, 7)
+
+    def test_end_journal_drops_records(self):
+        layout = small_layout()
+        layout.create_pi(Tile(0, 0), "a")
+        layout.end_journal()
+        with pytest.raises(ValueError):
+            layout.snapshot()
+
+    def test_digest_stable_under_rollback(self):
+        layout = small_layout()
+        a = layout.create_pi(Tile(0, 0), "a")
+        digest = layout.occupancy_digest()
+        mark = layout.snapshot()
+        w = layout.create_wire(Tile(1, 0), a)
+        assert layout.occupancy_digest() != digest
+        layout.rollback(mark)
+        assert layout.occupancy_digest() == digest
+        # Re-doing the identical mutation reproduces the identical digest.
+        layout.create_wire(Tile(1, 0), a)
+        redo = layout.occupancy_digest()
+        layout.remove(Tile(1, 0))
+        assert layout.occupancy_digest() == digest
+        layout.create_wire(Tile(1, 0), a)
+        assert layout.occupancy_digest() == redo
