@@ -19,7 +19,12 @@ from .cell_layout import QCACellLayout, QCACellType, SiDBLayout
 
 @dataclass
 class CellDrcReport:
-    """Outcome of a cell-level check."""
+    """Outcome of a cell-level check.
+
+    Mirrors the :class:`repro.layout.verification.DrcReport` contract:
+    ``ok`` / ``__bool__`` reflect *violations only* (warnings never fail
+    a layout), while ``summary()`` counts and lists both.
+    """
 
     violations: list[str] = field(default_factory=list)
     warnings: list[str] = field(default_factory=list)
@@ -30,6 +35,12 @@ class CellDrcReport:
 
     def __bool__(self) -> bool:
         return self.ok
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
 
     def summary(self) -> str:
         if self.ok and not self.warnings:
@@ -52,7 +63,7 @@ def check_qca_cells(layout: QCACellLayout) -> CellDrcReport:
     """Design rules for a QCA ONE cell layout."""
     report = CellDrcReport()
     if not layout.cells:
-        report.violations.append("cell layout is empty")
+        report.add("cell layout is empty")
         return report
 
     _check_qca_connectivity(layout, report)
@@ -66,46 +77,71 @@ def _layer_positions(layout: QCACellLayout, layer: int) -> set[tuple[int, int]]:
 
 
 def _check_qca_connectivity(layout: QCACellLayout, report: CellDrcReport) -> None:
-    """Ground-plane cells must form one coupled component.
+    """Cells must form coupled components that all carry computation.
 
     Polarisation propagates through direct and diagonal neighbourhood;
     via cells (layer 1) couple the ground plane to the crossing plane at
-    the same position.
+    the same position.  The layout may split into several independent
+    components — a PO fed straight from a PI, say, shares no cells with
+    the rest — so each component is judged on its own: one without any
+    input or fixed cell has nothing driving its polarisation and is a
+    violation; a driven island that reaches no output (the footprint of
+    an unused primary input) is surfaced as a warning.
     """
     positions: set[tuple[int, int, int]] = set(layout.cells)
-    if not positions:
-        return
-    start = next(iter(positions))
-    seen = {start}
-    frontier = [start]
-    while frontier:
-        x, y, layer = frontier.pop()
-        neighbors = [
-            (x + dx, y + dy, layer) for dx, dy in _ADJACENT + _DIAGONAL
-        ]
-        # Vertical coupling through the via stack (layers 0↔1↔2).
-        neighbors += [(x, y, layer - 1), (x, y, layer + 1)]
-        for candidate in neighbors:
-            if candidate in positions and candidate not in seen:
-                seen.add(candidate)
-                frontier.append(candidate)
-    unreached = len(positions) - len(seen)
-    if unreached:
-        report.violations.append(
-            f"{unreached} cell(s) are electrically disconnected from the rest"
-        )
+    unvisited = set(positions)
+    components: list[set[tuple[int, int, int]]] = []
+    while unvisited:
+        start = unvisited.pop()
+        component = {start}
+        frontier = [start]
+        while frontier:
+            x, y, layer = frontier.pop()
+            neighbors = [
+                (x + dx, y + dy, layer) for dx, dy in _ADJACENT + _DIAGONAL
+            ]
+            # Vertical coupling through the via stack (layers 0↔1↔2).
+            neighbors += [(x, y, layer - 1), (x, y, layer + 1)]
+            for candidate in neighbors:
+                if candidate in positions and candidate not in component:
+                    component.add(candidate)
+                    frontier.append(candidate)
+        unvisited -= component
+        components.append(component)
+    for component in components:
+        kinds = {layout.cells[p].cell_type for p in component}
+        driven = kinds & {
+            QCACellType.INPUT,
+            QCACellType.FIXED_0,
+            QCACellType.FIXED_1,
+        }
+        if not driven:
+            report.add(
+                f"{len(component)} cell(s) are electrically disconnected "
+                f"from any input or fixed cell"
+            )
+        elif len(components) > 1 and QCACellType.OUTPUT not in kinds:
+            labels = sorted(
+                layout.cells[p].label or "?"
+                for p in component
+                if layout.cells[p].cell_type is QCACellType.INPUT
+            )
+            report.warn(
+                f"isolated island without outputs "
+                f"(inputs: {', '.join(labels) or 'none'})"
+            )
 
 
 def _check_qca_pins(layout: QCACellLayout, report: CellDrcReport) -> None:
     inputs = layout.inputs()
     outputs = layout.outputs()
     if not inputs:
-        report.warnings.append("no input pins")
+        report.warn("no input pins")
     if not outputs:
-        report.violations.append("no output pins")
+        report.add("no output pins")
     for position in inputs + outputs:
         if layout.cells[position].label is None:
-            report.warnings.append(f"pin at {position} has no label")
+            report.warn(f"pin at {position} has no label")
 
 
 def _check_qca_fixed_cells(layout: QCACellLayout, report: CellDrcReport) -> None:
@@ -115,11 +151,11 @@ def _check_qca_fixed_cells(layout: QCACellLayout, report: CellDrcReport) -> None
         if cell.cell_type not in (QCACellType.FIXED_0, QCACellType.FIXED_1):
             continue
         if layer != 0:
-            report.violations.append(f"fixed cell off the ground plane at ({x},{y},{layer})")
+            report.add(f"fixed cell off the ground plane at ({x},{y},{layer})")
             continue
         touching = any((x + dx, y + dy) in positions for dx, dy in _ADJACENT)
         if not touching:
-            report.violations.append(f"floating fixed cell at ({x},{y})")
+            report.add(f"floating fixed cell at ({x},{y})")
 
 
 # ---------------------------------------------------------------------------
@@ -135,7 +171,7 @@ def check_sidb_dots(layout: SiDBLayout) -> CellDrcReport:
     """Design rules for an SiDB (Bestagon) layout."""
     report = CellDrcReport()
     if not layout.dots:
-        report.violations.append("SiDB layout is empty")
+        report.add("SiDB layout is empty")
         return report
 
     # Minimum separation: dots on the same lattice site or directly
@@ -145,18 +181,18 @@ def check_sidb_dots(layout: SiDBLayout) -> CellDrcReport:
         seen.setdefault((n, m), []).append(l)
     for (n, m), selectors in seen.items():
         if len(selectors) != len(set(selectors)):
-            report.violations.append(f"duplicate dot at ({n},{m})")
+            report.add(f"duplicate dot at ({n},{m})")
     for n, m, l in layout.dots:
         if (n + 1, m) in seen and l == 1 and 0 in seen[(n + 1, m)]:
-            report.warnings.append(
+            report.warn(
                 f"dots at ({n},{m},1) and ({n + 1},{m},0) are near the dimer limit"
             )
 
     if not layout.input_labels:
-        report.warnings.append("no labelled input dots")
+        report.warn("no labelled input dots")
     if not layout.output_labels:
-        report.warnings.append("no labelled output dots")
+        report.warn("no labelled output dots")
     for key in list(layout.input_labels) + list(layout.output_labels):
         if key not in layout.dots:
-            report.violations.append(f"label references a missing dot {key}")
+            report.add(f"label references a missing dot {key}")
     return report

@@ -10,7 +10,10 @@ equivalent of the hosted website:
   paper-style table row;
 * ``mnt-bench show`` — render an ``.fgl`` file as ASCII art;
 * ``mnt-bench svg`` — render an ``.fgl`` file as an SVG drawing;
-* ``mnt-bench profile`` — structural analysis of a benchmark network.
+* ``mnt-bench profile`` — structural analysis of a benchmark network;
+* ``mnt-bench fuzz`` — flow fuzzing / differential conformance harness
+  (see :mod:`repro.qa`): random networks × random flows against the
+  oracle stack, with automatic shrinking and a replayable crash corpus.
 """
 
 from __future__ import annotations
@@ -141,6 +144,43 @@ def _cmd_svg(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .qa import CrashCorpus, FuzzParams, fuzz, replay_case, triage
+
+    if args.replay:
+        corpus = CrashCorpus(args.corpus)
+        cases = corpus.cases()
+        if not cases:
+            print(f"no crash cases under {args.corpus}")
+            return 0
+        still_failing = 0
+        for path, case in cases:
+            failure = replay_case(case)
+            if failure is None:
+                print(f"FIXED  {path.name}")
+            else:
+                known = triage(case)
+                mark = "KNOWN " if known is not None else "REPRO "
+                still_failing += 0 if known is not None else 1
+                print(f"{mark} {path.name}: {failure}")
+        print(f"{len(cases)} case(s), {still_failing} un-triaged reproduction(s)")
+        return 1 if still_failing else 0
+
+    params = FuzzParams(
+        runs=args.runs,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        num_vectors=args.vectors,
+    )
+    report = fuzz(params, progress=print)
+    print(report.summary())
+    if report.case_paths:
+        for path in report.case_paths:
+            print(f"crash case written to {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_profile(args) -> int:
     suite, _, name = args.benchmark.partition("/")
     spec = get_benchmark(suite, name)
@@ -210,6 +250,30 @@ def build_parser() -> argparse.ArgumentParser:
     prof = sub.add_parser("profile", help="structural analysis of a benchmark")
     prof.add_argument("benchmark", metavar="SUITE/NAME")
     prof.add_argument("--node-cap", type=int, default=None)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz the physical-design flows against the oracle stack"
+    )
+    fuzz.add_argument("--runs", type=int, default=100, help="number of fuzz runs")
+    fuzz.add_argument("--seed", type=int, default=0, help="master seed")
+    fuzz.add_argument(
+        "--corpus",
+        default="fuzz_corpus",
+        help="crash corpus directory (written on failure, read by --replay)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the stored crash corpus instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing networks without shrinking them",
+    )
+    fuzz.add_argument(
+        "--vectors", type=int, default=64, help="stimulus vectors per equivalence check"
+    )
     return parser
 
 
@@ -223,6 +287,7 @@ def main(argv=None) -> int:
         "show": _cmd_show,
         "svg": _cmd_svg,
         "profile": _cmd_profile,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

@@ -15,6 +15,7 @@ this reproduction produces can be serialised and re-read losslessly
 
 from __future__ import annotations
 
+import heapq
 import xml.etree.ElementTree as ET
 from pathlib import Path
 from xml.dom import minidom
@@ -119,15 +120,37 @@ def layout_to_fgl(layout: GateLayout) -> str:
 
 
 def _serialisation_order(layout: GateLayout) -> list[Tile]:
-    """PIs in interface order, then everything else topologically, with
-    POs in interface order at the end — so readers rebuild the exact
-    same interface."""
-    pis = layout.pis()
-    pos = set(layout.pos())
-    middle = [
-        t for t in layout.topological_tiles() if t not in set(pis) and t not in pos
+    """PIs in interface order, then everything else in *canonical*
+    topological order (raster-order tie-breaking), with POs in interface
+    order at the end — so readers rebuild the exact same interface and
+    ``write → read → write`` is byte-stable regardless of the order the
+    layout was built in."""
+    indegree: dict[Tile, int] = {}
+    readers: dict[Tile, list[Tile]] = {}
+    for tile, gate in layout.tiles():
+        indegree.setdefault(tile, 0)
+        for fanin in gate.fanins:
+            indegree[tile] += 1
+            readers.setdefault(fanin, []).append(tile)
+    heap = [
+        (t.y, t.x, t.z, t) for t, degree in indegree.items() if degree == 0
     ]
-    return pis + middle + layout.pos()
+    heapq.heapify(heap)
+    ordered: list[Tile] = []
+    while heap:
+        _, _, _, tile = heapq.heappop(heap)
+        ordered.append(tile)
+        for reader in readers.get(tile, ()):
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                heapq.heappush(heap, (reader.y, reader.x, reader.z, reader))
+    if len(ordered) != len(indegree):
+        raise ValueError("layout connectivity contains a cycle")
+    pis = layout.pis()
+    pos = layout.pos()
+    excluded = set(pis) | set(pos)
+    middle = [t for t in ordered if t not in excluded]
+    return pis + middle + pos
 
 
 def write_fgl(layout: GateLayout, path) -> None:

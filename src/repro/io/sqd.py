@@ -29,9 +29,13 @@ def sidb_layout_to_sqd(layout: SiDBLayout) -> str:
         dbdot = ET.SubElement(layer, "dbdot")
         ET.SubElement(dbdot, "layer_id").text = "2"
         ET.SubElement(dbdot, "latcoord", n=str(n), m=str(m), l=str(l))
-        label = layout.input_labels.get((n, m, l)) or layout.output_labels.get((n, m, l))
+        label = layout.input_labels.get((n, m, l))
+        role = "input"
+        if label is None:
+            label = layout.output_labels.get((n, m, l))
+            role = "output"
         if label:
-            ET.SubElement(dbdot, "label").text = label
+            ET.SubElement(dbdot, "label", type=role).text = label
 
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="    ")
@@ -57,9 +61,12 @@ def sqd_to_sidb_layout(text: str) -> SiDBLayout:
         m = int(latcoord.get("m", "0"))
         l = int(latcoord.get("l", "0"))
         layout.add_dot(n, m, l)
-        label = dbdot.findtext("label")
-        if label:
-            layout.input_labels[(n, m, l)] = label
+        label_el = dbdot.find("label")
+        if label_el is not None and label_el.text:
+            if label_el.get("type", "input") == "output":
+                layout.output_labels[(n, m, l)] = label_el.text
+            else:
+                layout.input_labels[(n, m, l)] = label_el.text
     return layout
 
 

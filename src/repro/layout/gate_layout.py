@@ -405,7 +405,13 @@ class GateLayout:
             raise ValueError(f"tile {tile} is empty")
         if old not in gate.fanins:
             raise ValueError(f"{tile} does not read from {old}")
-        fanins = tuple(new if f == old else f for f in gate.fanins)
+        # Replace only the FIRST occurrence: a gate may legitimately read
+        # the same signal twice, and the reader bookkeeping below adjusts
+        # exactly one entry per call.
+        index = gate.fanins.index(old)
+        fanins = tuple(
+            new if i == index else f for i, f in enumerate(gate.fanins)
+        )
         rewired = replace(gate, fanins=fanins)
         self._tiles[tile] = rewired
         self._grid[tile.z][tile.y * self.width + tile.x] = rewired
@@ -598,6 +604,67 @@ class GateLayout:
             gate = self._tiles[tile]
             ntk.create_po(signal[gate.fanins[0]], gate.name)
         return ntk
+
+    def structurally_equal(self, other: "GateLayout") -> bool:
+        """True when both layouts host identical elements at identical tiles.
+
+        Compares topology, clocking scheme, dimensions, per-tile content
+        (gate type, fanin references, names) and the PI/PO interface
+        order — the relation serialisation round-trips and differential
+        engine runs must preserve.  Explicit per-tile zone assignments
+        (OPEN clocking) are compared as well.
+        """
+        if self is other:
+            return True
+        if (
+            self.width != other.width
+            or self.height != other.height
+            or self.topology is not other.topology
+            or self.scheme.name != other.scheme.name
+        ):
+            return False
+        if self._pis != other._pis or self._pos != other._pos:
+            return False
+        if len(self._tiles) != len(other._tiles):
+            return False
+        for tile, gate in self._tiles.items():
+            theirs = other._tiles.get(tile)
+            if theirs is None or theirs != gate:
+                return False
+        return self._zones == other._zones
+
+    def structural_diff(self, other: "GateLayout") -> str | None:
+        """Human-readable first difference, or ``None`` when equal.
+
+        The companion of :meth:`structurally_equal` for error reporting:
+        oracle failures embed this string so a crash case is actionable
+        without re-running the comparison by hand.
+        """
+        if self.width != other.width or self.height != other.height:
+            return (
+                f"dimensions differ: {self.width}x{self.height} vs "
+                f"{other.width}x{other.height}"
+            )
+        if self.topology is not other.topology:
+            return f"topology differs: {self.topology.value} vs {other.topology.value}"
+        if self.scheme.name != other.scheme.name:
+            return f"scheme differs: {self.scheme.name} vs {other.scheme.name}"
+        if self._pis != other._pis:
+            return f"PI order differs: {self._pis} vs {other._pis}"
+        if self._pos != other._pos:
+            return f"PO order differs: {self._pos} vs {other._pos}"
+        for tile, gate in self._tiles.items():
+            theirs = other._tiles.get(tile)
+            if theirs is None:
+                return f"{tile}: {gate.gate_type.value} missing from other layout"
+            if theirs != gate:
+                return f"{tile}: {gate} vs {theirs}"
+        for tile in other._tiles:
+            if tile not in self._tiles:
+                return f"{tile}: extra {other._tiles[tile].gate_type.value} in other layout"
+        if self._zones != other._zones:
+            return "explicit zone assignments differ"
+        return None
 
     def clone(self) -> "GateLayout":
         out = GateLayout(self.width, self.height, self.scheme, self.topology, self.name)

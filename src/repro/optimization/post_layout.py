@@ -115,6 +115,8 @@ def _reroute_pass(layout: GateLayout, params: PostLayoutParams, deadline: float 
             consumer_gate = layout.get(conn.consumer)
             if consumer_gate is None:
                 continue
+            if _strands_crossing(layout, conn.path):
+                continue
             old_ref = conn.path[-1]
             layout.replace_fanin(conn.consumer, old_ref, _SENTINEL)
             for wire in reversed(conn.path):
@@ -173,6 +175,9 @@ def _try_improve(layout: GateLayout, tile: Tile, params: PostLayoutParams) -> bo
     """Try relocating the element on ``tile`` closer to the origin."""
     incoming = [_trace_back(layout, ref) for ref in layout.get(tile).fanins]
     outgoing = _trace_forward(layout, tile)
+    removed = [tile] + [w for c in incoming + outgoing for w in c.path]
+    if _strands_crossing(layout, removed):
+        return False
 
     min_x = max((c.driver.x for c in incoming), default=0)
     min_y = max((c.driver.y for c in incoming), default=0)
@@ -284,6 +289,20 @@ def _trace_forward(layout: GateLayout, tile: Tile) -> list[_Connection]:
             current = nxt[0]
         connections.append(_Connection(tile, current, path))
     return connections
+
+
+def _strands_crossing(layout: GateLayout, removed: list[Tile]) -> bool:
+    """Would deleting ``removed`` leave a crossing wire over empty ground?
+
+    A ``z = 1`` wire is only physically realisable above an occupied
+    ground tile (the via stack lives in the ground block), so wire
+    chains running *under* someone else's crossing must stay put.
+    """
+    removing = set(removed)
+    return any(
+        t.z == 0 and layout.is_occupied(t.above) and t.above not in removing
+        for t in removed
+    )
 
 
 #: Parked fanin reference used while an element is detached; rewired

@@ -1,0 +1,85 @@
+"""Portable JSON serialisation of logic networks for the crash corpus.
+
+Crash cases must be replayable years later, independently of the
+Verilog writer's formatting choices, so the corpus stores networks in a
+minimal explicit node-list format instead:
+
+.. code-block:: json
+
+    {
+      "name": "fuzz17",
+      "pis": ["x0", "x1"],
+      "gates": [{"type": "AND", "fanins": [0, 1], "name": null}],
+      "pos": [[2, "y0"]]
+    }
+
+Node indices address the concatenation ``pis + gates`` (PIs first, then
+gates in topological order); constants use the sentinel strings
+``"const0"``/``"const1"``.  ``network_from_json(network_to_json(n))``
+reproduces ``n`` up to node renumbering — pinned by the qa tests.
+"""
+
+from __future__ import annotations
+
+from ..networks.logic_network import GateType, LogicNetwork
+
+_CONST0 = "const0"
+_CONST1 = "const1"
+
+
+def network_to_json(network: LogicNetwork) -> dict:
+    """Serialise ``network`` into the corpus node-list format."""
+    order = [u for u in network.topological_order() if not network.is_constant(u)]
+    pis = [u for u in order if network.is_pi(u)]
+    gates = [u for u in order if not network.is_pi(u)]
+    index: dict[int, object] = {}
+    for position, uid in enumerate(pis + gates):
+        index[uid] = position
+
+    def ref(uid: int) -> object:
+        if network.is_constant(uid):
+            return _CONST1 if uid == 1 else _CONST0
+        return index[uid]
+
+    gate_records = []
+    for uid in gates:
+        node = network.node(uid)
+        gate_records.append(
+            {
+                "type": node.gate_type.name,
+                "fanins": [ref(f) for f in node.fanins],
+                "name": node.name,
+            }
+        )
+    return {
+        "name": network.name,
+        "pis": [network.node(uid).name for uid in pis],
+        "gates": gate_records,
+        "pos": [[ref(signal), name] for signal, name in network.pos()],
+    }
+
+
+def network_from_json(record: dict) -> LogicNetwork:
+    """Rebuild a network from :func:`network_to_json` output."""
+    network = LogicNetwork(record.get("name", ""))
+    uids: list[int] = []
+    for name in record["pis"]:
+        uids.append(network.create_pi(name))
+
+    def resolve(ref: object) -> int:
+        if ref == _CONST0:
+            return network.get_constant(False)
+        if ref == _CONST1:
+            return network.get_constant(True)
+        position = int(ref)  # type: ignore[arg-type]
+        if not 0 <= position < len(uids):
+            raise ValueError(f"corpus network references unknown node {ref!r}")
+        return uids[position]
+
+    for gate in record["gates"]:
+        gate_type = GateType[gate["type"]]
+        fanins = tuple(resolve(f) for f in gate["fanins"])
+        uids.append(network.create_gate(gate_type, fanins, gate.get("name")))
+    for ref, name in record["pos"]:
+        network.create_po(resolve(ref), name)
+    return network

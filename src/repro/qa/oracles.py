@@ -1,0 +1,208 @@
+"""The fixed oracle stack every fuzzed flow run is checked against.
+
+Each oracle inspects one invariant the benchmark database relies on:
+
+* ``drc`` — the layout passes gate-level design-rule checking
+  (:func:`repro.layout.verification.check_layout`);
+* ``equivalence`` — the layout implements its specification network
+  (word-level simulation via :func:`repro.layout.equivalence`);
+* ``fgl_roundtrip`` — ``.fgl`` serialisation is lossless *and* stable
+  (write → read reproduces the layout structurally, write → read →
+  write reproduces the byte stream);
+* ``cell_level`` — the gate library applies cleanly, the resulting cell
+  layout passes cell-level DRC, and its ``.qca``/``.sqd`` serialisation
+  round-trips;
+* ``engine_agreement`` — the fast and reference routing engines produce
+  bit-identical layouts for the same flow (differential runs only);
+* ``exact_area`` — the optimized and baseline exact searches agree on
+  the minimal area (differential runs only).
+
+Oracles return ``None`` on success or a human-readable message on
+failure; the driver wraps messages into :class:`OracleFailure` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..celllayout.verification import check_qca_cells, check_sidb_dots
+from ..gatelibs.apply import apply_gate_library
+from ..io.fgl import FglError, fgl_to_layout, layout_to_fgl
+from ..io.qca import cell_layout_to_qca, qca_to_cell_layout
+from ..io.sqd import sidb_layout_to_sqd, sqd_to_sidb_layout
+from ..layout.coordinates import Topology
+from ..layout.equivalence import layout_equivalent
+from ..layout.gate_layout import GateLayout
+from ..layout.verification import check_layout
+from ..networks.logic_network import LogicNetwork
+
+#: Oracle names, in the order the stack runs them.  ``crash`` is the
+#: implicit zeroth oracle: an unexpected exception anywhere inside a
+#: flow is itself a reportable (and shrinkable) failure.
+ORACLE_NAMES = (
+    "crash",
+    "drc",
+    "equivalence",
+    "fgl_roundtrip",
+    "cell_level",
+    "engine_agreement",
+    "exact_area",
+)
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One violated invariant: which oracle tripped and why."""
+
+    oracle: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.message}"
+
+
+def check_drc(network: LogicNetwork, layout: GateLayout) -> str | None:
+    report = check_layout(layout)
+    if not report.ok:
+        return report.summary()
+    return None
+
+
+def check_equivalence_oracle(
+    network: LogicNetwork, layout: GateLayout, num_vectors: int = 64
+) -> str | None:
+    result = layout_equivalent(layout, network, num_vectors=num_vectors)
+    if not result.equivalent:
+        if result.counterexample is not None:
+            return f"counterexample input {result.counterexample}"
+        return result.reason or "layouts differ on sampled stimulus"
+    return None
+
+
+def check_fgl_roundtrip(network: LogicNetwork, layout: GateLayout) -> str | None:
+    try:
+        text = layout_to_fgl(layout)
+        restored = fgl_to_layout(text)
+    except (FglError, ValueError) as exc:
+        return f"serialisation raised {exc!r}"
+    diff = layout.structural_diff(restored)
+    if diff is not None:
+        return f"write→read lost information: {diff}"
+    second = layout_to_fgl(restored)
+    if second != text:
+        return "write→read→write is not byte-stable"
+    return None
+
+
+def check_cell_level(
+    network: LogicNetwork, layout: GateLayout, library: str
+) -> str | None:
+    expected_topology = (
+        Topology.HEXAGONAL_EVEN_ROW if library == "Bestagon" else Topology.CARTESIAN
+    )
+    if layout.topology is not expected_topology:
+        return None  # library/topology pairing not applicable
+    try:
+        cells = apply_gate_library(layout, library)
+    except (ValueError, KeyError) as exc:
+        return f"gate library application raised {exc!r}"
+    if library == "Bestagon":
+        report = check_sidb_dots(cells)
+        if not report.ok:
+            return f"SiDB DRC: {report.summary()}"
+        restored = sqd_to_sidb_layout(sidb_layout_to_sqd(cells))
+        if set(restored.dots) != set(cells.dots):
+            return ".sqd round-trip changed the dot set"
+        if (
+            restored.input_labels != cells.input_labels
+            or restored.output_labels != cells.output_labels
+        ):
+            return ".sqd round-trip changed pin labels"
+        return None
+    report = check_qca_cells(cells)
+    if not report.ok:
+        return f"cell DRC: {report.summary()}"
+    restored = qca_to_cell_layout(cell_layout_to_qca(cells))
+    if _qca_cells_table(restored) != _qca_cells_table(cells):
+        return ".qca round-trip changed the cell map"
+    return None
+
+
+def _qca_cells_table(layout) -> dict:
+    return {
+        position: (cell.cell_type, cell.label or None)
+        for position, cell in layout.cells.items()
+    }
+
+
+def run_oracle_stack(
+    network: LogicNetwork,
+    layout: GateLayout,
+    library: str = "QCA ONE",
+    num_vectors: int = 64,
+) -> OracleFailure | None:
+    """Run the per-layout oracles; first failure wins (stack order)."""
+    message = check_drc(network, layout)
+    if message is not None:
+        return OracleFailure("drc", message)
+    message = check_equivalence_oracle(network, layout, num_vectors)
+    if message is not None:
+        return OracleFailure("equivalence", message)
+    message = check_fgl_roundtrip(network, layout)
+    if message is not None:
+        return OracleFailure("fgl_roundtrip", message)
+    message = check_cell_level(network, layout, library)
+    if message is not None:
+        return OracleFailure("cell_level", message)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Differential oracles (need to re-run the flow, so they live above the
+# single-layout stack and are invoked by the driver / corpus replay)
+# ---------------------------------------------------------------------------
+
+
+def check_engine_agreement(network: LogicNetwork, flow) -> OracleFailure | None:
+    """Fast and reference routing engines must build identical layouts."""
+    from .config import FlowSkipped
+
+    fast_flow = replace(flow, engine="fast", differential=None)
+    ref_flow = replace(flow, engine="reference", differential=None)
+    try:
+        fast = fast_flow.run(network)
+        reference = ref_flow.run(network)
+    except FlowSkipped:
+        return None  # scale/timeout limits are not engine disagreements
+    diff = fast.structural_diff(reference)
+    if diff is not None:
+        return OracleFailure(
+            "engine_agreement",
+            f"fast and reference engines diverge: {diff}",
+        )
+    return None
+
+
+def check_exact_baseline(network: LogicNetwork, flow) -> OracleFailure | None:
+    """Optimized and baseline exact searches must agree on minimal area.
+
+    Timeouts make one-sided failures inconclusive (the baseline search is
+    slower by design), so disagreement is only reported when both
+    searches completed.
+    """
+    from .config import FlowSkipped
+
+    opt_flow = replace(flow, exact_optimized=True, differential=None, optimizations=())
+    base_flow = replace(flow, exact_optimized=False, differential=None, optimizations=())
+    try:
+        optimized = opt_flow.run(network)
+        baseline = base_flow.run(network)
+    except FlowSkipped:
+        return None
+    if optimized.area() != baseline.area():
+        return OracleFailure(
+            "exact_area",
+            f"optimized search found area {optimized.area()}, "
+            f"baseline found {baseline.area()}",
+        )
+    return None

@@ -1,0 +1,163 @@
+"""Greedy network shrinking for crash cases.
+
+Once a fuzzed network trips an oracle, the raw reproducer is rarely the
+story — most of its gates are bystanders.  The shrinker reduces the
+network while re-running the failing oracle after every candidate edit,
+keeping an edit only when the *same* oracle still fails:
+
+* drop surplus primary outputs,
+* replace a gate by one of its fanins (rewiring every reader), which
+  deletes the gate and everything that becomes unreachable,
+* then let dangling-node cleanup discard unread inputs.
+
+Each round walks the gates deepest-first; rounds repeat to a fixpoint or
+until the re-run budget is exhausted.  The result is typically a handful
+of gates — small enough to read, replay and turn into a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..networks.logic_network import GateType, LogicNetwork
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    network: LogicNetwork
+    original_gates: int
+    shrunk_gates: int
+    attempts: int
+    accepted: int
+
+
+def shrink_network(
+    network: LogicNetwork,
+    still_fails: Callable[[LogicNetwork], bool],
+    max_attempts: int = 200,
+) -> ShrinkResult:
+    """Greedily minimise ``network`` under the ``still_fails`` predicate.
+
+    ``still_fails`` re-runs the flow and oracle on a candidate network
+    and returns ``True`` when the original failure reproduces.  The
+    input network is never mutated; the best (smallest still-failing)
+    network found within ``max_attempts`` predicate calls is returned.
+    """
+    current = network
+    original_gates = network.num_gates()
+    attempts = 0
+    accepted = 0
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+
+        # 1. Surplus primary outputs, one at a time.
+        while current.num_pos() > 1 and attempts < max_attempts:
+            dropped = False
+            for po_index in range(current.num_pos()):
+                candidate = _drop_po(current, po_index)
+                if candidate is None:
+                    continue
+                attempts += 1
+                if still_fails(candidate):
+                    current = candidate
+                    accepted += 1
+                    progress = dropped = True
+                    break
+                if attempts >= max_attempts:
+                    break
+            if not dropped:
+                break
+
+        # 2. Gate-by-fanin substitution, deepest gates first so whole
+        #    cones collapse early.
+        for uid in reversed(current.topological_order()):
+            if attempts >= max_attempts:
+                break
+            node = current.node(uid)
+            if node.gate_type in (GateType.PI, GateType.CONST0, GateType.CONST1):
+                continue
+            replaced = False
+            for fanin in dict.fromkeys(node.fanins):
+                candidate = _replace_with_fanin(current, uid, fanin)
+                if candidate is None:
+                    continue
+                attempts += 1
+                if still_fails(candidate):
+                    current = candidate
+                    accepted += 1
+                    progress = replaced = True
+                    break
+                if attempts >= max_attempts:
+                    break
+            if replaced:
+                # The uid space changed; restart the walk on the new net.
+                break
+
+    return ShrinkResult(current, original_gates, current.num_gates(), attempts, accepted)
+
+
+def _drop_po(network: LogicNetwork, po_index: int) -> LogicNetwork | None:
+    """``network`` minus its ``po_index``-th output (plus cleanup)."""
+    if network.num_pos() <= 1:
+        return None
+    out = LogicNetwork(network.name)
+    mapping = _copy_nodes(network, out)
+    for index, (signal, name) in enumerate(network.pos()):
+        if index == po_index:
+            continue
+        out.create_po(mapping[signal], name)
+    return _finish(out)
+
+
+def _replace_with_fanin(
+    network: LogicNetwork, victim: int, replacement: int
+) -> LogicNetwork | None:
+    """``network`` with ``victim``'s signal replaced by ``replacement``."""
+    out = LogicNetwork(network.name)
+    mapping: dict[int, int] = {0: 0, 1: 1}
+    for uid in network.topological_order():
+        if network.is_constant(uid):
+            continue
+        node = network.node(uid)
+        if uid == victim:
+            mapping[uid] = mapping[replacement]
+            continue
+        if node.gate_type is GateType.PI:
+            mapping[uid] = out.create_pi(node.name)
+        else:
+            mapping[uid] = out.create_gate(
+                node.gate_type, tuple(mapping[f] for f in node.fanins), node.name
+            )
+    for signal, name in network.pos():
+        out.create_po(mapping[signal], name)
+    return _finish(out)
+
+
+def _copy_nodes(network: LogicNetwork, out: LogicNetwork) -> dict[int, int]:
+    mapping: dict[int, int] = {0: 0, 1: 1}
+    for uid in network.topological_order():
+        if network.is_constant(uid):
+            continue
+        node = network.node(uid)
+        if node.gate_type is GateType.PI:
+            mapping[uid] = out.create_pi(node.name)
+        else:
+            mapping[uid] = out.create_gate(
+                node.gate_type, tuple(mapping[f] for f in node.fanins), node.name
+            )
+    return mapping
+
+
+def _finish(network: LogicNetwork) -> LogicNetwork | None:
+    """Cleanup; reject candidates the flow pipeline cannot consume."""
+    cleaned = network.cleanup_dangling()
+    if cleaned.num_pis() < 1 or cleaned.num_pos() < 1:
+        return None
+    if cleaned.num_gates() < 1:
+        return None
+    return cleaned

@@ -1,0 +1,49 @@
+"""Triage of known fuzz failures.
+
+ChiBench-style fuzzing occasionally surfaces failures that are
+understood but deliberately not (yet) fixed — documented approximations,
+platform quirks, upstream limitations.  Such failures are recorded here
+as :class:`KnownIssue` entries so the driver can separate *triaged*
+failures (reported, counted, but expected) from *un-triaged* ones (new
+bugs that must fail CI).
+
+The list is intentionally empty while the oracle stack holds on the
+current code base; every entry added later must cite a tracking note.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .corpus import CrashCase
+
+
+@dataclass(frozen=True)
+class KnownIssue:
+    """A documented, accepted oracle failure pattern."""
+
+    #: Oracle the issue manifests in (``"*"`` matches any oracle).
+    oracle: str
+    #: Regex matched against the failure message.
+    pattern: str
+    #: Where the issue is tracked / why it is accepted.
+    note: str
+
+    def matches(self, case: CrashCase) -> bool:
+        if self.oracle != "*" and self.oracle != case.oracle:
+            return False
+        return re.search(self.pattern, case.message) is not None
+
+
+#: The accepted-failure list.  Keep empty unless a failure is understood
+#: and documented; CI treats anything not matched here as a regression.
+KNOWN_ISSUES: tuple[KnownIssue, ...] = ()
+
+
+def triage(case: CrashCase) -> KnownIssue | None:
+    """The known issue covering ``case``, or ``None`` (un-triaged)."""
+    for issue in KNOWN_ISSUES:
+        if issue.matches(case):
+            return issue
+    return None

@@ -2,11 +2,57 @@
 
 from __future__ import annotations
 
+import os
+import random
+import zlib
+
 import pytest
 
 from repro.layout import TWODDWAVE, GateLayout, Tile
 from repro.networks import GateType, LogicNetwork
 from repro.networks.library import full_adder, mux21, xor2
+
+#: Master seed for every randomized test, overridable from the
+#: environment (``PYTEST_FUZZ_SEED=7 pytest ...``) to explore new
+#: random inputs without touching the tests.
+FUZZ_SEED = int(os.environ.get("PYTEST_FUZZ_SEED", "0"))
+
+
+def derive_seed(label: str) -> int:
+    """A stable per-test seed: master seed mixed with the test's id.
+
+    Uses CRC32, not ``hash()`` — string hashing is salted per process,
+    which would make "deterministic" tests differ between runs.
+    """
+    return (FUZZ_SEED * 0x9E3779B1 + zlib.crc32(label.encode())) & 0xFFFFFFFF
+
+
+@pytest.fixture
+def rng(request) -> random.Random:
+    """Deterministic per-test RNG seeded from :data:`FUZZ_SEED`.
+
+    The derived seed is recorded on the test item and printed alongside
+    failures so a failing random draw can be replayed exactly.
+    """
+    seed = derive_seed(request.node.nodeid)
+    request.node.user_properties.append(("fuzz_seed", seed))
+    return random.Random(seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.failed:
+        for name, value in item.user_properties:
+            if name == "fuzz_seed":
+                report.sections.append(
+                    (
+                        "deterministic rng",
+                        f"PYTEST_FUZZ_SEED={FUZZ_SEED} -> derived seed {value}"
+                        " (export PYTEST_FUZZ_SEED to vary the random draws)",
+                    )
+                )
 
 
 @pytest.fixture

@@ -70,7 +70,8 @@ class TestSqdWriter:
 
     def test_labels(self):
         text = sidb_layout_to_sqd(sidb())
-        assert "<label>" in text
+        assert '<label type="input">' in text
+        assert '<label type="output">' in text
 
     def test_file_write(self, tmp_path):
         path = tmp_path / "layout.sqd"

@@ -1,0 +1,67 @@
+"""Contract tests for the DRC report types.
+
+Both report classes (gate-level ``DrcReport`` and cell-level
+``CellDrcReport``) must obey one contract: ``add()`` records a
+violation that fails the layout, ``warn()`` records a warning that does
+NOT, ``ok``/``__bool__`` reflect violations only, and ``summary()``
+counts and lists both kinds.  Fuzz-oracle messages and CI gating build
+on exactly these semantics.
+"""
+
+import pytest
+
+from repro.celllayout.verification import CellDrcReport
+from repro.layout.verification import DrcReport
+
+REPORTS = [DrcReport, CellDrcReport]
+
+
+@pytest.mark.parametrize("make", REPORTS)
+class TestReportContract:
+    def test_fresh_report_is_clean(self, make):
+        report = make()
+        assert report.ok
+        assert bool(report)
+        assert "clean" in report.summary()
+
+    def test_add_fails_the_layout(self, make):
+        report = make()
+        report.add("bad tile")
+        assert not report.ok
+        assert not bool(report)
+        assert report.violations == ["bad tile"]
+
+    def test_warn_does_not_fail_the_layout(self, make):
+        report = make()
+        report.warn("suspicious tile")
+        assert report.ok
+        assert bool(report)
+        assert report.warnings == ["suspicious tile"]
+
+    def test_summary_counts_both_kinds(self, make):
+        report = make()
+        report.add("v1")
+        report.add("v2")
+        report.warn("w1")
+        summary = report.summary()
+        assert "2 violation(s)" in summary
+        assert "1 warning(s)" in summary
+        assert "  E: v1" in summary
+        assert "  E: v2" in summary
+        assert "  W: w1" in summary
+
+    def test_warnings_alone_still_summarised(self, make):
+        report = make()
+        report.warn("w only")
+        summary = report.summary()
+        assert "0 violation(s), 1 warning(s)" in summary
+        assert "  W: w only" in summary
+        assert "clean" not in summary
+
+    def test_ok_is_independent_of_warning_count(self, make):
+        report = make()
+        for i in range(10):
+            report.warn(f"w{i}")
+        assert report.ok and bool(report)
+        report.add("one violation")
+        assert not report.ok and not bool(report)

@@ -5,7 +5,6 @@ The word-level path must agree bit-for-bit with the per-vector reference
 extracted from layouts of both topologies.
 """
 
-import random
 
 import pytest
 
@@ -182,8 +181,7 @@ class TestEngineAgreement:
 
 
 class TestPackingHelpers:
-    def test_pack_unpack_roundtrip(self):
-        rng = random.Random(11)
+    def test_pack_unpack_roundtrip(self, rng):
         vectors = [
             tuple(bool(rng.getrandbits(1)) for _ in range(5)) for _ in range(40)
         ]

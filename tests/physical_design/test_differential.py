@@ -7,8 +7,6 @@ layout passing DRC and functional equivalence against its
 specification network.
 """
 
-import random
-
 import pytest
 
 from repro.layout import (
@@ -43,8 +41,7 @@ SCHEMES = [
 
 class TestRouterEquivalence:
     @pytest.mark.parametrize("scheme,topology", SCHEMES)
-    def test_fast_matches_reference_on_random_grids(self, scheme, topology):
-        rng = random.Random(hash(scheme.name) & 0xFFFF)
+    def test_fast_matches_reference_on_random_grids(self, scheme, topology, rng):
         for trial in range(40):
             w, h = rng.randint(3, 8), rng.randint(3, 8)
             layout = GateLayout(w, h, scheme, topology)

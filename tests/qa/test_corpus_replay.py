@@ -1,0 +1,41 @@
+"""Replay the checked-in crash corpus as a regression suite.
+
+Any corpus entry persisted by a fuzz campaign (``mnt-bench fuzz
+--corpus fuzz_corpus``) is replayed against the current code; a case
+that still reproduces and is not covered by the known-issues list fails
+the build.  With no corpus on disk (the steady state — found bugs get
+fixed and their cases removed) the suite is a no-op.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa import CrashCorpus, replay_case, triage
+
+#: Default corpus location, relative to the repository root.
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "fuzz_corpus"
+
+
+def corpus_entries():
+    corpus = CrashCorpus(CORPUS_DIR)
+    return corpus.paths()
+
+
+@pytest.mark.parametrize(
+    "path", corpus_entries(), ids=lambda p: p.stem
+)
+def test_corpus_case_is_triaged_or_fixed(path):
+    case = CrashCorpus(CORPUS_DIR).load(path)
+    failure = replay_case(case)
+    if failure is None:
+        return  # fixed — the entry can be deleted
+    assert triage(case) is not None, (
+        f"{path.name} still reproduces and is not a known issue: {failure}"
+    )
+
+
+def test_corpus_directory_is_loadable():
+    # Guards against corrupt JSON sneaking into the corpus directory.
+    for path, case in CrashCorpus(CORPUS_DIR).cases():
+        assert case.oracle, path

@@ -1,0 +1,60 @@
+"""Pin the checked-in coverage configuration.
+
+The container running tier-1 does not ship ``coverage``/``pytest-cov``
+(they live in the ``cov`` extra, installed by CI), so these tests only
+validate the configuration itself — and exercise the toolchain when it
+happens to be importable.
+"""
+
+import importlib.util
+
+import pytest
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10
+    tomllib = None
+
+from pathlib import Path
+
+PYPROJECT = Path(__file__).resolve().parents[1] / "pyproject.toml"
+
+
+@pytest.fixture(scope="module")
+def pyproject():
+    if tomllib is None:
+        pytest.skip("tomllib requires Python 3.11+")
+    return tomllib.loads(PYPROJECT.read_text(encoding="utf-8"))
+
+
+def test_coverage_floor_is_checked_in(pyproject):
+    report = pyproject["tool"]["coverage"]["report"]
+    assert report["fail_under"] >= 70
+
+def test_coverage_measures_the_package(pyproject):
+    run = pyproject["tool"]["coverage"]["run"]
+    assert run["source"] == ["repro"]
+    assert run["branch"] is True
+
+
+def test_cov_extra_declared(pyproject):
+    extras = pyproject["project"]["optional-dependencies"]
+    assert "pytest-cov" in extras["cov"]
+    assert "coverage" in extras["cov"]
+
+
+def test_no_cov_flags_in_addopts(pyproject):
+    # Plain pytest must work without the pytest-cov plugin installed.
+    assert "--cov" not in pyproject["tool"]["pytest"]["ini_options"]["addopts"]
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("coverage") is None,
+    reason="coverage not installed (cov extra)",
+)
+def test_coverage_config_loads():
+    from coverage import Coverage
+
+    cov = Coverage(config_file=str(PYPROJECT))
+    assert cov.config.branch is True
+    assert cov.config.fail_under >= 70
