@@ -90,6 +90,30 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_optimize(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    suites = list(args.suite or [])
+    names = []
+    for token in args.benchmark or []:
+        suite, _, name = token.partition("/")
+        suites.append(suite)
+        names.append(name)
+    selection = Selection.make(suites=suites, names=names) if suites or names else None
+    params = GenerationParams(
+        plo_passes=args.plo_passes,
+        plo_timeout=args.plo_timeout,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    created = db.optimize(selection, params=params)
+    for record in created:
+        area = f"A={record.area}" if record.area is not None else ""
+        print(f"wrote {record.path} {area}")
+    print(f"{len(created)} optimized artifact(s) written to {args.database}")
+    print(created.report.summary())
+    return 0
+
+
 def _cmd_query(args) -> int:
     db = BenchmarkDatabase(args.database)
     selection = Selection.make(
@@ -223,6 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run flows even when the index flow cache has results",
     )
 
+    opt = sub.add_parser(
+        "optimize",
+        help="re-optimise stored 2DDWave layouts (PLO + wiring reduction)",
+    )
+    opt.add_argument("--database", default="mnt_bench_db")
+    opt.add_argument("--suite", action="append")
+    opt.add_argument("--benchmark", action="append", metavar="SUITE/NAME")
+    opt.add_argument("--plo-passes", type=int, default=8)
+    opt.add_argument("--plo-timeout", type=float, default=20.0)
+    opt.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for flow execution (1: in-process)",
+    )
+    opt.add_argument(
+        "--no-cache", action="store_true",
+        help="re-run flows even when the index flow cache has results",
+    )
+
     query = sub.add_parser("query", help="filter generated artifacts")
     query.add_argument("--database", default="mnt_bench_db")
     query.add_argument("--level", action="append", choices=["network", "gate-level"])
@@ -282,6 +324,7 @@ def main(argv=None) -> int:
     handlers = {
         "list": _cmd_list,
         "generate": _cmd_generate,
+        "optimize": _cmd_optimize,
         "query": _cmd_query,
         "best": _cmd_best,
         "show": _cmd_show,

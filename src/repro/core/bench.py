@@ -44,10 +44,11 @@ from ..layout.gate_layout import GateLayout
 from ..networks.logic_network import LogicNetwork
 from ..networks.simulation import output_signature
 from ..networks.verilog import network_to_verilog, parse_verilog, write_verilog
-from ..io.fgl import layout_to_fgl, read_fgl
+from ..io.fgl import fgl_to_layout, layout_to_fgl, read_fgl
 from ..optimization.hexagonalization import to_hexagonal
 from ..optimization.input_ordering import InputOrderingParams, input_ordering
 from ..optimization.post_layout import PostLayoutParams, post_layout_optimization
+from ..optimization.wiring_reduction import wiring_reduction
 from ..physical_design.exact import ExactParams, exact_layout
 from ..physical_design.nanoplacer import (
     NanoPlaceRParams,
@@ -433,22 +434,100 @@ def _profile_flow_task(task: FlowTask) -> FlowTaskResult:
     return FlowTaskResult(result.flow, result.candidates, result.wall_seconds, table)
 
 
+@dataclass(frozen=True)
+class OptimizeTask:
+    """One picklable unit of the database-wide optimize stage.
+
+    Carries everything a worker needs — the serialised layout, the
+    specification as Verilog, the metadata of the source record — so
+    optimization of independent artifacts fans out over the same
+    process pool that flow generation uses.
+    """
+
+    suite: str
+    name: str
+    #: Cache/report label, unique per source artifact.
+    flow: str
+    fgl_text: str
+    verilog: str
+    library: str
+    algorithm: str
+    scheme: str
+    optimizations: tuple[str, ...]
+    params: GenerationParams
+
+
+def _execute_optimize_task(task: OptimizeTask) -> FlowTaskResult:
+    """Post-layout-optimize one stored artifact: PLO, wiring reduction,
+    re-verification — the worker half of :meth:`BenchmarkDatabase.optimize`."""
+    started = time.monotonic()
+    network = parse_verilog(task.verilog)
+    network.name = task.name
+    layout = fgl_to_layout(task.fgl_text)
+    plo = post_layout_optimization(
+        layout,
+        PostLayoutParams(
+            max_passes=task.params.plo_passes, timeout=task.params.plo_timeout
+        ),
+    )
+    reduced = wiring_reduction(plo.layout)
+    final = reduced.layout
+    runtime = plo.runtime_seconds + reduced.runtime_seconds
+    opts = task.optimizations + ("PLO",)
+    drc, equivalence = verify_layout(
+        final, network, num_vectors=task.params.verify_vectors
+    )
+    if not drc.ok:
+        artifact = FlowArtifact(
+            "drc_failed", task.library, task.algorithm, task.scheme, opts, runtime,
+            reason=drc.violations[0] if drc.violations else "DRC failed",
+        )
+    elif not equivalence.equivalent:
+        artifact = FlowArtifact(
+            "inequivalent", task.library, task.algorithm, task.scheme, opts, runtime,
+            reason=equivalence.reason
+            or f"counterexample {equivalence.counterexample}",
+        )
+    else:
+        width, height = final.bounding_box()
+        artifact = FlowArtifact(
+            "admitted",
+            task.library,
+            task.algorithm,
+            task.scheme,
+            opts,
+            runtime,
+            fgl_text=layout_to_fgl(final),
+            width=width,
+            height=height,
+            num_gates=final.num_gates(),
+            num_wires=final.num_wires(),
+            num_crossings=final.num_crossings(),
+        )
+    return FlowTaskResult(task.flow, (artifact,), time.monotonic() - started)
+
+
 def _execute_tasks(
-    tasks: list[FlowTask], jobs: int, profile: bool = False
+    tasks: list, jobs: int, profile: bool = False, fn=_execute_flow_task
 ) -> list[FlowTaskResult]:
-    """Run flow tasks serially or across a process pool, order-preserving."""
+    """Run tasks serially or across a process pool, order-preserving.
+
+    ``fn`` is the per-task worker — :func:`_execute_flow_task` for
+    generation, :func:`_execute_optimize_task` for the optimize stage —
+    and must be a picklable module-level function.
+    """
     if profile:
         # Profiling needs the work in-process: one profiler per flow.
         return [_profile_flow_task(t) for t in tasks]
     if jobs <= 1 or len(tasks) <= 1:
-        return [_execute_flow_task(t) for t in tasks]
+        return [fn(t) for t in tasks]
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(_execute_flow_task, tasks))
+            return list(pool.map(fn, tasks))
     except (OSError, RuntimeError):
         # Pool creation can fail in constrained environments; the serial
         # path computes the identical results.
-        return [_execute_flow_task(t) for t in tasks]
+        return [fn(t) for t in tasks]
 
 
 class BenchmarkDatabase:
@@ -567,12 +646,124 @@ class BenchmarkDatabase:
         results = _execute_tasks(
             [task for _, _, task, _ in pending], params.jobs, params.profile
         )
-        for (spec, key, task, slot), result in zip(pending, results):
+        self._merge_results(
+            (
+                (spec.suite, spec.name, task.flow, key, slot, result)
+                for (spec, key, task, slot), result in zip(pending, results)
+            ),
+            report,
+        )
+        report.wall_seconds = time.monotonic() - started
+        self._save_index()
+        created = [record for slot in slots for record in slot]
+        return GenerationOutcome(created, report)
+
+    def optimize(
+        self,
+        selection: Selection | None = None,
+        params: GenerationParams | None = None,
+    ) -> GenerationOutcome:
+        """Post-layout-optimize stored artifacts database-wide.
+
+        Every eligible gate-level record — 2DDWave, not already carrying
+        a ``PLO`` tag, optionally narrowed by ``selection`` — is loaded,
+        run through incremental post-layout optimization plus wiring
+        reduction, re-verified (DRC + equivalence against the stored
+        specification network) and written back as a new ``…_plo``
+        artifact.  Independent artifacts fan out over the same process
+        pool flow generation uses (``params.jobs``), and per-artifact
+        results are merged into the flow cache so a re-run skips
+        already-optimized entries.
+        """
+        params = params or GenerationParams()
+        report = GenerationReport()
+        started = time.monotonic()
+        networks: dict[tuple[str, str], tuple[str, tuple] | None] = {}
+        slots: list[list[BenchmarkFile]] = []
+        pending: list[tuple[str, str, str, OptimizeTask, list[BenchmarkFile]]] = []
+        for record in list(self._records):
+            if not self._optimizable(record):
+                continue
+            if selection is not None and not selection.matches(record):
+                continue
+            spec_key = (record.suite, record.name)
+            if spec_key not in networks:
+                verilog_path = self.root / record.suite / f"{record.name}.v"
+                if verilog_path.exists():
+                    verilog = verilog_path.read_text(encoding="utf-8")
+                    network = parse_verilog(verilog)
+                    networks[spec_key] = (verilog, output_signature(network))
+                else:
+                    networks[spec_key] = None
+            source = networks[spec_key]
+            artifact_path = self.root / record.path
+            if source is None or not artifact_path.exists():
+                report.no_layout += 1
+                continue
+            verilog, signature = source
+            flow = f"optimize:{Path(record.path).name}"
+            key = self._cache_key(signature, flow, params)
+            slot: list[BenchmarkFile] = []
+            slots.append(slot)
+            entry = self._flow_cache.get(key) if params.use_cache else None
+            if entry is not None and self._cache_entry_usable(entry):
+                report.skipped_cached += 1
+                for record_json in entry["records"]:
+                    slot.append(self._remember(BenchmarkFile.from_json(record_json)))
+                continue
+            task = OptimizeTask(
+                suite=record.suite,
+                name=record.name,
+                flow=flow,
+                fgl_text=artifact_path.read_text(encoding="utf-8"),
+                verilog=verilog,
+                library=record.gate_library,
+                algorithm=record.algorithm,
+                scheme=record.clocking_scheme,
+                optimizations=record.optimizations,
+                params=params,
+            )
+            pending.append((record.suite, record.name, key, task, slot))
+        results = _execute_tasks(
+            [task for _, _, _, task, _ in pending],
+            params.jobs,
+            fn=_execute_optimize_task,
+        )
+        self._merge_results(
+            (
+                (suite, name, task.flow, key, slot, result)
+                for (suite, name, key, task, slot), result in zip(pending, results)
+            ),
+            report,
+        )
+        report.wall_seconds = time.monotonic() - started
+        self._save_index()
+        created = [record for slot in slots for record in slot]
+        return GenerationOutcome(created, report)
+
+    @staticmethod
+    def _optimizable(record: BenchmarkFile) -> bool:
+        """Gate-level 2DDWave artifacts not already post-layout-optimized."""
+        return (
+            record.abstraction_level is AbstractionLevel.GATE_LEVEL
+            and record.clocking_scheme == "2DDWave"
+            and "PLO" not in record.optimizations
+        )
+
+    def _merge_results(self, merged, report: GenerationReport) -> None:
+        """Fold worker results into records, report and flow cache.
+
+        ``merged`` yields ``(suite, name, flow, cache_key, slot,
+        result)`` tuples; shared by :meth:`generate` and
+        :meth:`optimize` so both stages make identical admission,
+        caching and bookkeeping decisions.
+        """
+        for suite, name, flow, key, slot, result in merged:
             cached_records: list[dict] = []
             rejections: list[dict] = []
             for candidate in result.candidates:
                 if candidate.status == "admitted":
-                    record = self._write_layout(spec, candidate)
+                    record = self._write_layout(suite, name, candidate)
                     cached_records.append(record.to_json())
                     slot.append(self._remember(record))
                     report.admitted += 1
@@ -588,22 +779,16 @@ class BenchmarkDatabase:
                     )
             if not result.candidates:
                 report.no_layout += 1
-            report.flow_seconds[f"{spec.full_name}:{task.flow}"] = result.wall_seconds
+            report.flow_seconds[f"{suite}/{name}:{flow}"] = result.wall_seconds
             if result.profile_stats is not None:
-                report.flow_profiles[f"{spec.full_name}:{task.flow}"] = (
-                    result.profile_stats
-                )
+                report.flow_profiles[f"{suite}/{name}:{flow}"] = result.profile_stats
             self._flow_cache[key] = {
-                "suite": spec.suite,
-                "name": spec.name,
-                "flow": task.flow,
+                "suite": suite,
+                "name": name,
+                "flow": flow,
                 "records": cached_records,
                 "rejections": rejections,
             }
-        report.wall_seconds = time.monotonic() - started
-        self._save_index()
-        created = [record for slot in slots for record in slot]
-        return GenerationOutcome(created, report)
 
     def _remember(self, record: BenchmarkFile) -> BenchmarkFile:
         """Add ``record`` to the index unless an identical-path record
@@ -674,12 +859,12 @@ class BenchmarkDatabase:
             path=f"{spec.suite}/{filename}",
         )
 
-    def _write_layout(self, spec: BenchmarkSpec, candidate: FlowArtifact) -> BenchmarkFile:
+    def _write_layout(self, suite: str, name: str, candidate: FlowArtifact) -> BenchmarkFile:
         """Materialise an admitted flow candidate as an ``.fgl`` record."""
-        directory = self.root / spec.suite
+        directory = self.root / suite
         directory.mkdir(parents=True, exist_ok=True)
         filename = self.file_name(
-            spec.name,
+            name,
             candidate.library,
             candidate.scheme,
             candidate.algorithm,
@@ -687,10 +872,10 @@ class BenchmarkDatabase:
         )
         (directory / filename).write_text(candidate.fgl_text, encoding="utf-8")
         return BenchmarkFile(
-            suite=spec.suite,
-            name=spec.name,
+            suite=suite,
+            name=name,
             abstraction_level=AbstractionLevel.GATE_LEVEL,
-            path=f"{spec.suite}/{filename}",
+            path=f"{suite}/{filename}",
             gate_library=candidate.library,
             clocking_scheme=candidate.scheme,
             algorithm=candidate.algorithm,

@@ -120,7 +120,7 @@ def submit_layout(
         num_wires=layout.num_wires(),
         num_crossings=layout.num_crossings(),
     )
-    record = db._remember(db._write_layout(spec, artifact))
+    record = db._remember(db._write_layout(spec.suite, spec.name, artifact))
     db._save_index()
     return SubmissionResult(True, (), record, previous_best)
 

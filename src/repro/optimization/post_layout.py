@@ -12,15 +12,41 @@ The optimisation is greedy gradient descent over gate positions: a move
 is kept only when it reduces the cost ``(bounding-box area, total wire
 tiles, Σ gate x+y)``; otherwise the layout is restored from the recorded
 wiring.  Multiple passes run until a fixpoint or the pass limit.
+
+Two engines implement the same descent:
+
+* the **incremental** engine (default) maintains a persistent
+  connection index (driver→consumer wire traces, invalidated only for
+  tiles touched by an applied move), evaluates candidate relocations by
+  *delta cost* — on 2DDWave every admissible route is a monotone
+  east/south staircase, so a move's post-reroute wiring cost is pure
+  geometry and only feasibility needs the router — skips gates whose
+  entire read neighbourhood is clean since their last failed attempt,
+  and routes with target-dominance pruning
+  (:class:`~repro.physical_design.routing.RoutingOptions.prune_dominated`)
+  over the shared router arena;
+* the **reference** engine
+  (``PostLayoutParams(engine="reference")``) is the original
+  whole-layout re-trace-and-reroute implementation, retained as the
+  benchmark baseline and as the oracle the fuzz harness checks the
+  incremental engine against (see
+  :func:`repro.qa.oracles.check_plo_agreement`).
+
+Both engines accept exactly the same moves in the same order, so given
+the same inputs and no timeout they produce identical layouts; the
+differential oracle and ``benchmarks/bench_optimization.py`` pin this
+down.
 """
 
 from __future__ import annotations
 
+import bisect
+import functools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from ..layout.coordinates import Tile
-from ..layout.gate_layout import GateLayout
+from ..layout.gate_layout import GateLayout, LayoutGate
 from ..networks.logic_network import GateType
 from ..physical_design.routing import RoutingOptions, find_path
 
@@ -29,11 +55,22 @@ from ..physical_design.routing import RoutingOptions, find_path
 class PostLayoutParams:
     """Parameters of the PLO pass."""
 
+    #: Upper bound on full optimisation sweeps over the layout; the loop
+    #: exits earlier as soon as a sweep applies no move (fixpoint).
     max_passes: int = 10
-    #: Wall-clock budget in seconds (None: unlimited).
+    #: Wall-clock budget in seconds (``None``: unlimited).  Checked
+    #: between per-gate attempts, so the bound is soft by at most one
+    #: relocation attempt; on expiry the current pass stops and the
+    #: layout (always in a consistent state) is cropped and returned.
     timeout: float | None = 60.0
-    #: Candidate relocation offsets per gate and pass, tried in order.
-    routing: RoutingOptions = RoutingOptions(crossing_penalty=1)
+    #: Router configuration used for every reroute during the pass.
+    routing: RoutingOptions = field(
+        default_factory=lambda: RoutingOptions(crossing_penalty=1)
+    )
+    #: ``"incremental"`` (connection index + delta cost + dirty-set
+    #: scheduling) or ``"reference"`` (original full re-trace/reroute
+    #: implementation, kept as baseline and differential oracle).
+    engine: str = "incremental"
 
 
 @dataclass
@@ -46,6 +83,15 @@ class PostLayoutResult:
     moves_applied: int
     area_before: int
     area_after: int
+    #: Global cost tuple ``(bounding-box area, wire tiles, Σ gate x+y)``
+    #: before/after the pass.  The incremental engine maintains it by
+    #: O(changed-tiles) deltas; the reference engine recomputes it.
+    cost_before: tuple[int, int, int] | None = None
+    cost_after: tuple[int, int, int] | None = None
+    #: Relocation attempts skipped because the gate's read neighbourhood
+    #: was provably unchanged since its last failed attempt
+    #: (incremental engine only).
+    gates_skipped: int = 0
 
     @property
     def area_reduction(self) -> float:
@@ -65,6 +111,24 @@ class _Connection:
     path: list[Tile]
 
 
+def layout_cost(layout: GateLayout) -> tuple[int, int, int]:
+    """The PLO cost tuple, recomputed from scratch.
+
+    ``(bounding-box area, wire tiles, Σ x+y over non-wire elements)`` —
+    the quantity both engines descend on and the differential oracle
+    compares.
+    """
+    width, height = layout.bounding_box()
+    wires = 0
+    position_sum = 0
+    for tile, gate in layout.tiles():
+        if gate.is_wire:
+            wires += 1
+        else:
+            position_sum += tile.x + tile.y
+    return (width * height, wires, position_sum)
+
+
 def post_layout_optimization(
     layout: GateLayout, params: PostLayoutParams | None = None
 ) -> PostLayoutResult:
@@ -77,11 +141,41 @@ def post_layout_optimization(
             f"got {layout.scheme.name}"
         )
     params = params or PostLayoutParams()
+    if params.engine not in ("incremental", "reference"):
+        raise ValueError(f"unknown PLO engine {params.engine!r}")
     started = time.monotonic()
     deadline = None if params.timeout is None else started + params.timeout
-    width, height = layout.bounding_box()
-    area_before = width * height
 
+    if params.engine == "reference":
+        result = _optimize_reference(layout, params, deadline)
+    else:
+        result = _optimize_incremental(layout, params, deadline)
+    passes, moves, skipped, cost_before, cost_after = result
+
+    layout.shrink_to_fit()
+    return PostLayoutResult(
+        layout,
+        time.monotonic() - started,
+        passes,
+        moves,
+        cost_before[0],  # leading cost component IS the bounding-box area
+        cost_after[0],
+        cost_before=cost_before,
+        cost_after=cost_after,
+        gates_skipped=skipped,
+    )
+
+
+# -- reference engine ------------------------------------------------------------------
+#
+# The original implementation: every pass re-traces every gate's wiring
+# from scratch and rates candidate moves by speculatively rerouting.
+# Kept verbatim (modulo the shared helpers below) as the benchmark
+# baseline and the oracle reference.
+
+
+def _optimize_reference(layout, params, deadline):
+    cost_before = layout_cost(layout)
     moves = 0
     passes = 0
     for _ in range(params.max_passes):
@@ -91,19 +185,20 @@ def post_layout_optimization(
         moves += changed
         if not changed or (deadline and time.monotonic() > deadline):
             break
-    layout.shrink_to_fit()
-    width, height = layout.bounding_box()
-    return PostLayoutResult(
-        layout, time.monotonic() - started, passes, moves, area_before, width * height
-    )
+    return passes, moves, 0, cost_before, layout_cost(layout)
 
 
 def _reroute_pass(layout: GateLayout, params: PostLayoutParams, deadline: float | None) -> int:
     """Replace detoured wire chains with shortest reroutes (wire deletion)."""
     improved = 0
-    anchors = [
-        tile for tile, gate in list(layout.tiles()) if not gate.is_wire and tile.z == 0
-    ]
+    anchors = sorted(
+        (
+            tile
+            for tile, gate in layout.tiles()
+            if not gate.is_wire and tile.z == 0
+        ),
+        key=lambda t: (t.x + t.y, t),
+    )
     for tile in anchors:
         if deadline and time.monotonic() > deadline:
             break
@@ -129,6 +224,7 @@ def _reroute_pass(layout: GateLayout, params: PostLayoutParams, deadline: float 
                 avoid=frozenset(
                     {r.ground for r in other_refs} | {r.above for r in other_refs}
                 ),
+                prune_dominated=params.routing.prune_dominated,
             )
             path = find_path(layout, tile, conn.consumer, options)
             accept = (
@@ -155,20 +251,23 @@ def _reroute_pass(layout: GateLayout, params: PostLayoutParams, deadline: float 
 def _pass(layout: GateLayout, params: PostLayoutParams, deadline: float | None) -> int:
     """One sweep over all movable elements; returns accepted move count."""
     moves = 0
-    # Gates closest to the origin first, so room opens up progressively
-    # for the ones behind them.
-    movable = [
-        tile
-        for tile, gate in sorted(layout.tiles(), key=lambda tg: (tg[0].x + tg[0].y, tg[0]))
-        if not gate.is_pi and not gate.is_wire
-    ]
-    for tile in movable:
+    for tile in _movable_tiles(layout):
         if deadline and time.monotonic() > deadline:
             break
         if not layout.is_occupied(tile):
             continue  # may have been rewired by an earlier move
         moves += _try_improve(layout, tile, params)
     return moves
+
+
+def _movable_tiles(layout: GateLayout) -> list[Tile]:
+    # Gates closest to the origin first, so room opens up progressively
+    # for the ones behind them.
+    return [
+        tile
+        for tile, gate in sorted(layout.tiles(), key=lambda tg: (tg[0].x + tg[0].y, tg[0]))
+        if not gate.is_pi and not gate.is_wire
+    ]
 
 
 def _try_improve(layout: GateLayout, tile: Tile, params: PostLayoutParams) -> bool:
@@ -193,7 +292,7 @@ def _try_improve(layout: GateLayout, tile: Tile, params: PostLayoutParams) -> bo
     for candidate in candidates:
         if layout.is_occupied(candidate):
             continue
-        if _attach(layout, gate, candidate, incoming, outgoing, params.routing):
+        if _attach(layout, gate, candidate, incoming, outgoing, params.routing) is not None:
             old_cost = sum(len(c.path) for c in incoming) + sum(
                 len(c.path) for c in outgoing
             ) + (tile.x + tile.y)
@@ -204,10 +303,569 @@ def _try_improve(layout: GateLayout, tile: Tile, params: PostLayoutParams) -> bo
             _detach_at(layout, candidate)
             continue
     # No improving candidate: restore the original spot verbatim.
-    if not _attach_verbatim(layout, gate, tile, incoming, outgoing):
+    if _attach_verbatim(layout, gate, tile, incoming, outgoing) is None:
         raise RuntimeError("PLO failed to restore a layout it modified")
     _restore_po_index(layout, tile, po_index)
     return False
+
+
+# -- incremental engine ----------------------------------------------------------------
+#
+# Three observations make PLO incremental on 2DDWave:
+#
+# 1. Every admissible wire path is a monotone east/south staircase, so
+#    any two chains between the same endpoints have the same length.
+#    The reference reroute pass ("wire deletion") can therefore never
+#    find a shorter chain — it is a provable no-op and is skipped — and
+#    a candidate relocation's post-reroute wiring cost is known *before
+#    routing*: only feasibility needs the router.
+# 2. A relocation attempt reads only a bounded neighbourhood: the
+#    bounding rectangle of the gate, its effective drivers and
+#    consumers (wire chains between monotone endpoints cannot leave
+#    that rectangle, and dominance-pruned routing cannot either).  A
+#    failed attempt re-run on an identical neighbourhood fails again,
+#    so gates whose rectangle no applied move has touched are skipped.
+# 3. Failed attempts restore the layout exactly, so only *applied*
+#    moves invalidate cached state — the connection index and the dirty
+#    log track exactly those.
+
+
+class _IndexEntry:
+    """Cached traces of one anchor plus derived relocation geometry.
+
+    Monotone routing makes a candidate's post-move cost *linear* in its
+    coordinate sum ``s = x + y``::
+
+        cost(s) = k * s + c0
+        k  = 1 + len(incoming) - len(outgoing)
+        c0 = Σ_out(consumer.x + consumer.y - 1) - Σ_in(driver.x + driver.y + 1)
+
+    (each driver→candidate chain costs ``manhattan − 1`` wires, each
+    candidate→consumer chain likewise, plus the gate position term).
+    Caching ``k``/``c0`` together with the feasibility bounds — drivers
+    must stay north-west (``min_x``/``min_y``), consumers south-east
+    (``mcx``/``mcy``) — makes the common "no improving candidate" case a
+    handful of integer compares with no tracing and no allocation.
+    """
+
+    __slots__ = (
+        "incoming", "outgoing", "rect", "seq",
+        "min_x", "min_y", "mcx", "mcy", "k", "c0", "old_cost",
+    )
+
+    def __init__(
+        self, incoming, outgoing, rect, seq,
+        min_x, min_y, mcx, mcy, k, c0, old_cost,
+    ) -> None:
+        self.incoming = incoming
+        self.outgoing = outgoing
+        self.rect = rect
+        self.seq = seq
+        self.min_x = min_x
+        self.min_y = min_y
+        self.mcx = mcx
+        self.mcy = mcy
+        self.k = k
+        self.c0 = c0
+        self.old_cost = old_cost
+
+
+class _ConnectionIndex:
+    """Driver→consumer traces with dirty-set invalidation.
+
+    The whole index is built by ONE sweep over the layout: every wire
+    chain is walked exactly once from its driving anchor, and each
+    movable gate's entry is assembled from the shared connection
+    objects — against the per-gate re-tracing of the reference engine,
+    which walks every chain twice (once from each end) for every gate
+    on every pass.
+
+    ``commit`` records the ground coordinates touched by an applied
+    move under a monotonically increasing sequence number; an entry (or
+    a recorded failed attempt) is stale exactly when a newer change
+    falls inside its read rectangle.  Rectangles carry a one-tile
+    margin so adjacent reads (a consumer's other fanin references, the
+    crossing layer above a removed wire) are covered conservatively.
+    """
+
+    def __init__(self, layout: GateLayout) -> None:
+        self.layout = layout
+        self.seq = 0
+        #: Applied-change log, ascending by sequence number.
+        self._changes: list[tuple[int, int, int]] = []
+        self._entries: dict[Tile, _IndexEntry] = {}
+        #: tile -> (seq, rect) of the gate's last failed attempt.
+        self._failures: dict[Tile, tuple[int, tuple[int, int, int, int]]] = {}
+        #: Current positions of all movable (non-PI, non-wire) elements,
+        #: maintained sorted by ``(x + y, tile)`` — the sweep order the
+        #: reference engine re-derives from a full layout scan per pass.
+        self.order: list[tuple[int, Tile]] = []
+        self._build_all()
+
+    def _build_all(self) -> None:
+        """Trace every connection once and index it by both endpoints."""
+        layout = self.layout
+        tiles = layout._tiles
+        readers_map = layout._readers
+        buf = GateType.BUF
+        conn_out: dict[Tile, list[_Connection]] = {}
+        conn_by_ref: dict[tuple[Tile, Tile], _Connection] = {}
+        for tile, gate in tiles.items():
+            rs = readers_map.get(tile)
+            if gate.gate_type is buf and (rs is None or len(rs) <= 1):
+                continue  # plain chain wire: covered by its anchor's walk
+            if not rs:
+                conn_out[tile] = []
+                continue
+            outs: list[_Connection] = []
+            for reader in rs if len(rs) == 1 else sorted(rs):
+                path: list[Tile] = []
+                current = reader
+                while True:
+                    nxt = readers_map.get(current)
+                    if tiles[current].gate_type is not buf or (
+                        nxt is not None and len(nxt) > 1
+                    ):
+                        break
+                    path.append(current)
+                    if nxt is None or len(nxt) != 1:
+                        break
+                    current = nxt[0]
+                conn = _Connection(tile, current, path)
+                outs.append(conn)
+                conn_by_ref[(current, path[-1] if path else tile)] = conn
+            conn_out[tile] = outs
+        entries = self._entries
+        order = self.order
+        for tile, gate in tiles.items():
+            if gate.is_wire or gate.is_pi:
+                continue
+            order.append((tile.x + tile.y, tile))
+            try:
+                incoming = [conn_by_ref[(tile, ref)] for ref in gate.fanins]
+            except KeyError:  # pragma: no cover - dangling chain
+                continue  # entry is built lazily on first use instead
+            outgoing = conn_out.get(tile) or []
+            entries[tile] = self._make_entry(tile, incoming, outgoing)
+        order.sort()
+
+    # -- dirty tracking -----------------------------------------------------
+
+    def commit(self, tiles) -> None:
+        """Record an applied structural change touching ``tiles``."""
+        self.seq += 1
+        seq = self.seq
+        seen: set[tuple[int, int]] = set()
+        for tile in tiles:
+            key = (tile.x, tile.y)
+            if key not in seen:
+                seen.add(key)
+                self._changes.append((seq, tile.x, tile.y))
+
+    def dirty_since(self, seq: int, rect: tuple[int, int, int, int]) -> bool:
+        """Did any change newer than ``seq`` touch ``rect``?"""
+        if seq == self.seq:
+            return False  # revalidated this very generation: nothing newer
+        changes = self._changes
+        start = bisect.bisect_right(changes, (seq, 1 << 30, 1 << 30))
+        x0, y0, x1, y1 = rect
+        for _, x, y in changes[start:]:
+            if x0 <= x <= x1 and y0 <= y <= y1:
+                return True
+        return False
+
+    # -- trace cache --------------------------------------------------------
+
+    def entry(self, tile: Tile) -> _IndexEntry:
+        """The anchor's traces, re-traced only when its rectangle is dirty."""
+        entry = self._entries.get(tile)
+        if entry is not None:
+            if not self.dirty_since(entry.seq, entry.rect):
+                entry.seq = self.seq  # revalidate: keeps future scans short
+                return entry
+        entry = self._build(tile)
+        self._entries[tile] = entry
+        return entry
+
+    def _build(self, tile: Tile) -> _IndexEntry:
+        """Re-trace one gate (same walks as `_build_all`, scoped)."""
+        layout = self.layout
+        tiles = layout._tiles
+        readers_map = layout._readers
+        buf = GateType.BUF
+        gate = tiles[tile]
+        incoming: list[_Connection] = []
+        for ref in gate.fanins:
+            path: list[Tile] = []
+            current = ref
+            while True:
+                g = tiles[current]
+                if g.gate_type is not buf:
+                    break
+                rs = readers_map.get(current)
+                if rs is not None and len(rs) > 1:
+                    break  # shared wire: treat as the effective driver
+                path.append(current)
+                current = g.fanins[0]
+            path.reverse()
+            incoming.append(_Connection(current, Tile(-1, -1), path))
+        rs = readers_map.get(tile)
+        outgoing: list[_Connection] = []
+        if rs:
+            for reader in rs if len(rs) == 1 else sorted(rs):
+                path = []
+                current = reader
+                while True:
+                    nxt = readers_map.get(current)
+                    if tiles[current].gate_type is not buf or (
+                        nxt is not None and len(nxt) > 1
+                    ):
+                        break
+                    path.append(current)
+                    if nxt is None or len(nxt) != 1:
+                        break
+                    current = nxt[0]
+                outgoing.append(_Connection(tile, current, path))
+        return self._make_entry(tile, incoming, outgoing)
+
+    def _make_entry(self, tile, incoming, outgoing) -> _IndexEntry:
+        """Assemble an entry: read rectangle plus relocation geometry.
+
+        The rectangle bounds everything a relocation attempt reads.
+        Endpoints suffice: on a monotone scheme every wire chain lies
+        inside its endpoints' bounding rectangle (all steps run east or
+        south), and candidate positions plus a consumer's other fanin
+        references sit within one tile of that hull — covered by the
+        one-tile margin.
+        """
+        tiles = self.layout._tiles
+        tx, ty = tile.x, tile.y
+        rmin_x = rmax_x = tx
+        rmin_y = rmax_y = ty
+        min_x = min_y = 0
+        old_cost = tx + ty
+        c0 = 0
+        for conn in incoming:
+            driver = conn.driver
+            dx, dy = driver.x, driver.y
+            if dx > min_x:
+                min_x = dx
+            if dy > min_y:
+                min_y = dy
+            if dx < rmin_x:
+                rmin_x = dx
+            elif dx > rmax_x:
+                rmax_x = dx
+            if dy < rmin_y:
+                rmin_y = dy
+            elif dy > rmax_y:
+                rmax_y = dy
+            old_cost += len(conn.path)
+            c0 -= dx + dy + 1
+        mcx = mcy = 1 << 30
+        for conn in outgoing:
+            consumer = conn.consumer
+            cx, cy = consumer.x, consumer.y
+            if cx < mcx:
+                mcx = cx
+            if cy < mcy:
+                mcy = cy
+            if cx < rmin_x:
+                rmin_x = cx
+            elif cx > rmax_x:
+                rmax_x = cx
+            if cy < rmin_y:
+                rmin_y = cy
+            elif cy > rmax_y:
+                rmax_y = cy
+            old_cost += len(conn.path)
+            c0 += cx + cy - 1
+            consumer_gate = tiles.get(consumer)
+            if consumer_gate is not None:
+                for ref in consumer_gate.fanins:
+                    if ref.x < rmin_x:
+                        rmin_x = ref.x
+                    elif ref.x > rmax_x:
+                        rmax_x = ref.x
+                    if ref.y < rmin_y:
+                        rmin_y = ref.y
+                    elif ref.y > rmax_y:
+                        rmax_y = ref.y
+        return _IndexEntry(
+            incoming,
+            outgoing,
+            (rmin_x - 1, rmin_y - 1, rmax_x + 1, rmax_y + 1),
+            self.seq,
+            min_x,
+            min_y,
+            mcx,
+            mcy,
+            1 + len(incoming) - len(outgoing),
+            c0,
+            old_cost,
+        )
+
+    def moved(self, tile: Tile, candidate: Tile) -> None:
+        """Update bookkeeping after the gate on ``tile`` moved."""
+        order = self.order
+        key = (tile.x + tile.y, tile)
+        at = bisect.bisect_left(order, key)
+        if at < len(order) and order[at] == key:
+            del order[at]
+        bisect.insort(order, (candidate.x + candidate.y, candidate))
+        self._entries.pop(tile, None)
+        self._failures.pop(tile, None)
+
+    # -- failed-attempt schedule --------------------------------------------
+
+    def record_failure(self, tile: Tile, rect: tuple[int, int, int, int]) -> None:
+        self._failures[tile] = (self.seq, rect)
+
+    def clean_since_failure(self, tile: Tile) -> bool:
+        """True when the gate's last attempt failed and nothing in its
+        read rectangle changed since — re-attempting is provably futile."""
+        record = self._failures.get(tile)
+        if record is None:
+            return False
+        seq, rect = record
+        if self.dirty_since(seq, rect):
+            return False
+        self._failures[tile] = (self.seq, rect)
+        return True
+
+
+class _CostTracker:
+    """The global cost tuple, maintained by O(changed tiles) deltas.
+
+    Column/row occupancy histograms give the bounding box without a
+    full scan: the maxima only move when their histogram bucket drains,
+    and the rescan to the next occupied bucket is amortised against the
+    shrinking that drained it.
+    """
+
+    def __init__(self, layout: GateLayout) -> None:
+        self.layout = layout
+        self._columns = [0] * layout.width
+        self._rows = [0] * layout.height
+        self.wires = 0
+        self.position_sum = 0
+        self.occupied = 0
+        columns = self._columns
+        rows = self._rows
+        for tile, gate in layout._tiles.items():
+            columns[tile.x] += 1
+            rows[tile.y] += 1
+            self.occupied += 1
+            if gate.is_wire:
+                self.wires += 1
+            else:
+                self.position_sum += tile.x + tile.y
+
+    def note_place(self, tile: Tile, gate: LayoutGate) -> None:
+        self._columns[tile.x] += 1
+        self._rows[tile.y] += 1
+        self.occupied += 1
+        if gate.is_wire:
+            self.wires += 1
+        else:
+            self.position_sum += tile.x + tile.y
+
+    def note_remove(self, tile: Tile, gate: LayoutGate) -> None:
+        self._columns[tile.x] -= 1
+        self._rows[tile.y] -= 1
+        self.occupied -= 1
+        if gate.is_wire:
+            self.wires -= 1
+        else:
+            self.position_sum -= tile.x + tile.y
+
+    @staticmethod
+    def _span(histogram: list[int]) -> int:
+        for index in range(len(histogram) - 1, -1, -1):
+            if histogram[index]:
+                return index + 1
+        return 0
+
+    def cost(self) -> tuple[int, int, int]:
+        if not self.occupied:
+            return (0, 0, 0)
+        return (
+            self._span(self._columns) * self._span(self._rows),
+            self.wires,
+            self.position_sum,
+        )
+
+
+@functools.lru_cache(maxsize=8)
+def _pruned_options(routing: RoutingOptions) -> RoutingOptions:
+    """``routing`` with dominance pruning on (cached: it never changes
+    returned paths on 2DDWave, so the incremental engine always prunes)."""
+    if routing.prune_dominated:
+        return routing
+    return replace(routing, prune_dominated=True)
+
+
+def _optimize_incremental(layout, params, deadline):
+    index = _ConnectionIndex(layout)
+    tracker = _CostTracker(layout)
+    cost_before = tracker.cost()
+    routing = _pruned_options(params.routing)
+    moves = 0
+    passes = 0
+    skipped = 0
+    tiles_map = layout._tiles
+    for _ in range(params.max_passes):
+        passes += 1
+        changed = 0
+        # Snapshot of the maintained sweep order: mid-pass moves mutate
+        # it, but the reference engine likewise materialises its scan
+        # before the pass starts.
+        for _, tile in list(index.order):
+            if deadline and time.monotonic() > deadline:
+                break
+            if tile not in tiles_map:
+                continue  # may have been rewired by an earlier move
+            if index.clean_since_failure(tile):
+                skipped += 1
+                continue
+            changed += _try_improve_incremental(
+                layout, tile, routing, index, tracker
+            )
+        moves += changed
+        if not changed or (deadline and time.monotonic() > deadline):
+            break
+    return passes, moves, skipped, cost_before, tracker.cost()
+
+
+def _try_improve_incremental(layout, tile, routing, index, tracker) -> bool:
+    """`_try_improve` with cached traces and delta-cost gating.
+
+    The accept/reject decision depends only on connection *endpoints*
+    (monotone routing fixes every chain length at manhattan distance −
+    1), so for the common no-improvement case this touches nothing but
+    the cached entry's integers — no tracing, no detach, no routing,
+    not even a Tile allocation.  The checks run in a different order
+    than the reference engine's, but every reordered check is
+    side-effect free and rejecting, so the engines still accept
+    identical moves.
+    """
+    entry = index.entry(tile)
+    incoming, outgoing = entry.incoming, entry.outgoing
+    min_x, min_y = entry.min_x, entry.min_y
+    tx, ty = tile.x, tile.y
+    # `_move_candidates(tile, min_x, min_y)` inlined against the cached
+    # geometry: keep only candidates the linear delta cost proves
+    # improving and feasible — for the rest the reference engine would
+    # speculatively reroute and then reject on cost, so dropping them
+    # up front elides only no-ops.
+    old_sum = tx + ty
+    mcx, mcy, k, c0, old_cost = entry.mcx, entry.mcy, entry.k, entry.c0, entry.old_cost
+    viable: list[Tile] = []
+    seen = None
+    for x, y in (
+        (min_x, min_y),
+        (min_x + 1, min_y),
+        (min_x, min_y + 1),
+        (min_x + 1, min_y + 1),
+        ((min_x + tx) // 2, (min_y + ty) // 2),
+        (tx - 1, ty - 1),
+        (tx - 1, ty),
+        (tx, ty - 1),
+        (tx - 2, ty - 2),
+        (tx - 2, ty - 1),
+        (tx - 1, ty - 2),
+    ):
+        s = x + y
+        if (
+            x < min_x or y < min_y or x < 0 or y < 0
+            or s >= old_sum          # no closer to the origin (covers == tile)
+            or x > mcx or y > mcy    # a consumer sits north/west: infeasible
+            or k * s + c0 >= old_cost  # not improving
+        ):
+            continue
+        if seen is None:
+            seen = {(x, y)}
+        elif (x, y) in seen:
+            continue
+        else:
+            seen.add((x, y))
+        viable.append(Tile(x, y))
+    if not viable:
+        index.record_failure(tile, entry.rect)
+        return False
+
+    old_wires = [w for c in incoming for w in c.path] + [
+        w for c in outgoing for w in c.path
+    ]
+    # Candidates occupied by anything the detach would not free stay
+    # occupied after it, so the reference engine skips them inside its
+    # detach/restore cycle; filtering them here elides that cycle when
+    # nothing attemptable remains.
+    tiles_map = layout._tiles
+    freed = set(old_wires)
+    viable = [c for c in viable if c not in tiles_map or c in freed]
+    if not viable:
+        index.record_failure(tile, entry.rect)
+        return False
+
+    if _strands_crossing(layout, [tile] + old_wires):
+        index.record_failure(tile, entry.rect)
+        return False
+
+    po_index = layout.pos().index(tile) if layout.get(tile).is_po else None
+    gate = _detach(layout, tile, incoming, outgoing)
+    for candidate in viable:
+        if candidate in tiles_map:
+            continue
+        attached = _attach(layout, gate, candidate, incoming, outgoing, routing)
+        if attached is None:
+            continue
+        placed, in_paths, out_paths = attached
+        # Feasible and (by delta cost) improving: the reference engine
+        # accepts exactly this candidate.
+        _restore_po_index(layout, candidate, po_index)
+        drivers = [c.driver for c in incoming]
+        consumers = [c.consumer for c in outgoing]
+        index.commit(
+            [tile, candidate] + old_wires + placed + drivers + consumers
+        )
+        index.moved(tile, candidate)
+        # The moved gate's fresh entry is fully known from the routed
+        # paths — build it now instead of re-tracing it next pass.
+        # Outgoing connections sort by their first chain tile, the order
+        # a re-trace would enumerate the gate's readers in.
+        new_incoming = [
+            _Connection(c.driver, Tile(-1, -1), p)
+            for c, p in zip(incoming, in_paths)
+        ]
+        new_outgoing = [
+            _Connection(candidate, c.consumer, p)
+            for c, p in zip(outgoing, out_paths)
+        ]
+        if len(new_outgoing) > 1:
+            new_outgoing.sort(key=lambda c: c.path[0] if c.path else c.consumer)
+        index._entries[candidate] = index._make_entry(
+            candidate, new_incoming, new_outgoing
+        )
+        for wire in old_wires:
+            tracker.note_remove(wire, _WIRE)
+        tracker.note_remove(tile, gate)
+        for wire in placed:
+            tracker.note_place(wire, _WIRE)
+        tracker.note_place(candidate, gate)
+        return True
+    if _attach_verbatim(layout, gate, tile, incoming, outgoing) is None:
+        raise RuntimeError("PLO failed to restore a layout it modified")
+    _restore_po_index(layout, tile, po_index)
+    index.record_failure(tile, entry.rect)
+    return False
+
+
+#: Stand-in wire element for cost-tracker deltas (only ``is_wire`` is read).
+_WIRE = LayoutGate(GateType.BUF)
+
+
+# -- shared helpers --------------------------------------------------------------------
 
 
 def _restore_po_index(layout: GateLayout, tile: Tile, po_index: int | None) -> None:
@@ -272,9 +930,15 @@ def _trace_back(layout: GateLayout, ref: Tile) -> _Connection:
 
 
 def _trace_forward(layout: GateLayout, tile: Tile) -> list[_Connection]:
-    """All outgoing connections of ``tile`` through their wire chains."""
+    """All outgoing connections of ``tile`` through their wire chains.
+
+    Readers are visited in tile order, not reader-list order: the
+    reader bookkeeping reorders its lists when wiring is detached and
+    restored, and a canonical order is what lets the incremental engine
+    replay the reference engine's decisions exactly.
+    """
     connections = []
-    for reader in layout.readers(tile):
+    for reader in sorted(layout.readers(tile)):
         path = []
         current = reader
         while True:
@@ -337,10 +1001,19 @@ def _attach(
     incoming,
     outgoing,
     routing: RoutingOptions,
-) -> bool:
-    """Re-place ``gate`` on ``tile`` and reroute everything; undo on fail."""
+) -> tuple[list[Tile], list[list[Tile]], list[list[Tile]]] | None:
+    """Re-place ``gate`` on ``tile`` and reroute everything; undo on fail.
+
+    Returns ``(placed, in_paths, out_paths)`` on success — all wire
+    positions placed plus the new chain of each incoming/outgoing
+    connection in order (the incremental engine rebuilds the moved
+    gate's index entry from these without re-tracing) — or ``None`` on
+    failure.
+    """
     refs = []
     placed_wires: list[Tile] = []
+    in_paths: list[list[Tile]] = []
+    out_paths: list[list[Tile]] = []
     rewired: list[tuple[Tile, Tile]] = []
 
     def undo() -> None:
@@ -360,16 +1033,18 @@ def _attach(
             crossing_penalty=routing.crossing_penalty,
             max_expansions=4000,
             avoid=frozenset(taken),
+            prune_dominated=routing.prune_dominated,
         )
         path = find_path(layout, conn.driver, tile, options)
         if path is None or (len(path) >= 2 and path[-2].ground in {r.ground for r in refs}):
             undo()
-            return False
+            return None
         previous = path[0]
         for pos in path[1:-1]:
             layout.create_wire(pos, previous)
             placed_wires.append(pos)
             previous = pos
+        in_paths.append(path[1:-1])
         refs.append(previous)
         taken.update({previous.ground, previous.above})
 
@@ -388,30 +1063,36 @@ def _attach(
             avoid=frozenset(
                 {r.ground for r in other_refs} | {r.above for r in other_refs}
             ),
+            prune_dominated=routing.prune_dominated,
         )
         path = find_path(layout, tile, conn.consumer, options)
         if path is None or (
             len(path) >= 2 and path[-2].ground in {r.ground for r in other_refs}
         ):
             undo()
-            return False
+            return None
         previous = path[0]
         for pos in path[1:-1]:
             layout.create_wire(pos, previous)
             placed_wires.append(pos)
             previous = pos
+        out_paths.append(path[1:-1])
         layout.replace_fanin(conn.consumer, _SENTINEL, previous)
         rewired.append((conn.consumer, previous))
-    return True
+    return placed_wires, in_paths, out_paths
 
 
-def _attach_verbatim(layout: GateLayout, gate, tile: Tile, incoming, outgoing) -> bool:
+def _attach_verbatim(
+    layout: GateLayout, gate, tile: Tile, incoming, outgoing
+) -> list[Tile] | None:
     """Restore the exact original wiring recorded before a failed move."""
     refs = []
+    restored: list[Tile] = []
     for conn in incoming:
         previous = conn.driver
         for pos in conn.path:
             layout.create_wire(pos, previous)
+            restored.append(pos)
             previous = pos
         refs.append(previous)
     _create_element(layout, gate, tile, refs)
@@ -419,9 +1100,10 @@ def _attach_verbatim(layout: GateLayout, gate, tile: Tile, incoming, outgoing) -
         previous = tile
         for pos in conn.path:
             layout.create_wire(pos, previous)
+            restored.append(pos)
             previous = pos
         layout.replace_fanin(conn.consumer, _SENTINEL, previous)
-    return True
+    return restored
 
 
 def _detach_at(layout: GateLayout, tile: Tile) -> None:

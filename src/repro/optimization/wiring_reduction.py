@@ -9,10 +9,25 @@ fanin), everything below shifts up by one, and on 2DDWave the clocking
 stays consistent because all relative zone differences along surviving
 connections are preserved.
 
-The pass alternates row and column sweeps until a fixpoint.  It is most
-effective after ortho (whose row/column discipline leaves highway
-stripes) and composes with PLO — Table I's heuristic entries bundle all
-of these under their optimisation suffixes.
+Two engines implement the pass:
+
+* the **incremental** engine (default) maintains per-line histograms —
+  occupied-tile and pass-through-tile counts per row and per column,
+  filled by ONE sweep over the layout — and exploits that deleting a
+  pass-through (or empty) line never changes any surviving tile's
+  pass-through status on either axis (the deletion is a pure
+  contraction: relative offsets along surviving connections are
+  preserved).  The deletable set is therefore fixed up front and all
+  lines are removed in a single composite rebuild;
+* the **reference** engine is the original fixpoint loop — re-scan the
+  whole layout, delete one line, rebuild, repeat — retained as the
+  baseline and as the oracle the equality tests compare against.
+
+Both engines delete the same set of lines and produce structurally
+identical layouts.  The pass is most effective after ortho (whose
+row/column discipline leaves highway stripes) and composes with PLO —
+Table I's heuristic entries bundle all of these under their
+optimisation suffixes.
 """
 
 from __future__ import annotations
@@ -44,17 +59,136 @@ class WiringReductionResult:
         return 1.0 - self.area_after / self.area_before
 
 
-def wiring_reduction(layout: GateLayout) -> WiringReductionResult:
+def wiring_reduction(
+    layout: GateLayout, engine: str = "incremental"
+) -> WiringReductionResult:
     """Delete all pass-through wire rows/columns of a 2DDWave layout.
 
-    Returns a *new* layout; the input is left untouched.
+    Returns a *new* layout; the input is left untouched.  ``engine``
+    selects the histogram-driven single-rebuild implementation
+    (``"incremental"``, default) or the original one-line-at-a-time
+    fixpoint loop (``"reference"``).
     """
     if layout.topology is not Topology.CARTESIAN or layout.scheme is not TWODDWAVE:
         raise ValueError("wiring reduction is defined for Cartesian 2DDWave layouts")
+    if engine not in ("incremental", "reference"):
+        raise ValueError(f"unknown wiring-reduction engine {engine!r}")
     started = time.monotonic()
     width, height = layout.bounding_box()
     area_before = width * height
 
+    if engine == "reference":
+        current, rows, columns = _reduce_reference(layout)
+    else:
+        current, rows, columns = _reduce_incremental(layout)
+    if current is layout:
+        current = layout.clone()
+    current.shrink_to_fit()
+    width, height = current.bounding_box()
+    return WiringReductionResult(
+        current, time.monotonic() - started, rows, columns, area_before, width * height
+    )
+
+
+# -- incremental engine ----------------------------------------------------------------
+
+
+def _reduce_incremental(layout: GateLayout) -> tuple[GateLayout, int, int]:
+    """Histogram scan + one composite rebuild.
+
+    A line is deletable when every occupied tile on it passes straight
+    through along the line's normal (or it is empty), and it is
+    interior.  Deleting such a line shifts — but never rewires or
+    reorders — everything past it, so deletability of the *other* lines
+    is invariant and the whole set can be collected from one scan of
+    per-line occupied/pass-through counts.
+    """
+    width, height = layout.bounding_box()
+    row_occupied = [0] * height
+    row_pass = [0] * height
+    col_occupied = [0] * width
+    col_pass = [0] * width
+    buf = GateType.BUF
+    readers_map = layout._readers
+    for tile, gate in layout._tiles.items():
+        x, y = tile.x, tile.y
+        row_occupied[y] += 1
+        col_occupied[x] += 1
+        if gate.gate_type is not buf:
+            continue
+        rs = readers_map.get(tile)
+        if rs is None or len(rs) != 1:
+            continue
+        fanin = gate.fanins[0]
+        reader = rs[0]
+        if fanin.x == x and fanin.y == y - 1 and reader.x == x and reader.y == y + 1:
+            row_pass[y] += 1
+        elif fanin.y == y and fanin.x == x - 1 and reader.y == y and reader.x == x + 1:
+            col_pass[x] += 1
+    rows = [y for y in range(1, height - 1) if row_occupied[y] == row_pass[y]]
+    columns = [x for x in range(1, width - 1) if col_occupied[x] == col_pass[x]]
+    if not rows and not columns:
+        return layout, 0, 0
+    return _delete_lines(layout, rows, columns), len(rows), len(columns)
+
+
+def _delete_lines(
+    layout: GateLayout, rows: list[int], columns: list[int]
+) -> GateLayout:
+    """Rebuild the layout without the given rows and columns, at once.
+
+    Equals the reference engine's one-at-a-time result: coordinate
+    remaps compose to a prefix-count shift, and bypass chains (a
+    deleted wire whose fanin is itself deleted) resolve transitively.
+    """
+    row_set = set(rows)
+    col_set = set(columns)
+    new_y = [y - sum(1 for r in rows if r < y) for y in range(layout.height)]
+    new_x = [x - sum(1 for c in columns if c < x) for x in range(layout.width)]
+
+    bypass: dict[Tile, Tile] = {}
+    for tile, gate in layout._tiles.items():
+        if tile.y in row_set or tile.x in col_set:
+            bypass[tile] = gate.fanins[0]
+
+    def remap(tile: Tile) -> Tile:
+        while tile in bypass:
+            tile = bypass[tile]
+        return Tile(new_x[tile.x], new_y[tile.y], tile.z)
+
+    out = GateLayout(
+        max(1, layout.width - len(columns)),
+        max(1, layout.height - len(rows)),
+        layout.scheme,
+        layout.topology,
+        layout.name,
+    )
+    for tile in layout.topological_tiles():
+        if tile.y in row_set or tile.x in col_set:
+            continue
+        gate = layout.get(tile)
+        assert gate is not None
+        fanins = [remap(f) for f in gate.fanins]
+        target = Tile(new_x[tile.x], new_y[tile.y], tile.z)
+        if gate.is_pi:
+            out.create_pi(target, gate.name)
+        elif gate.is_po:
+            out.create_po(target, fanins[0], gate.name)
+        else:
+            out.create_gate(gate.gate_type, target, fanins, gate.name)
+    out._pis = [remap(t) for t in layout.pis()]
+    out._pos = [remap(t) for t in layout.pos()]
+    return out
+
+
+# -- reference engine ------------------------------------------------------------------
+#
+# The original implementation: re-scan everything, delete the first
+# deletable line, rebuild the layout, repeat until a fixpoint.  Kept as
+# the baseline and the oracle the incremental engine is tested against.
+
+
+def _reduce_reference(layout: GateLayout) -> tuple[GateLayout, int, int]:
     current = layout
     rows = columns = 0
     changed = True
@@ -71,13 +205,7 @@ def wiring_reduction(layout: GateLayout) -> WiringReductionResult:
             current = _delete_line(current, target, axis="column")
             columns += 1
             changed = True
-    if current is layout:
-        current = layout.clone()
-    current.shrink_to_fit()
-    width, height = current.bounding_box()
-    return WiringReductionResult(
-        current, time.monotonic() - started, rows, columns, area_before, width * height
-    )
+    return current, rows, columns
 
 
 def _find_deletable(layout: GateLayout, axis: str) -> int | None:

@@ -28,6 +28,7 @@ insertion order, so they return bit-identical paths.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import itertools
 from dataclasses import dataclass
@@ -56,6 +57,13 @@ class RoutingOptions:
     #: implementation).  Both return identical paths; the reference
     #: engine exists for differential tests and benchmark baselines.
     engine: str = "fast"
+    #: On monotone schemes (2DDWave: data only flows east/south) never
+    #: expand nodes beyond the target's column or row — such nodes can
+    #: reach the target by no admissible step sequence, so pruning them
+    #: cannot change the returned path, only the work done to find it.
+    #: Both engines honour the flag identically.  Off by default so the
+    #: reference engine remains a faithful pre-optimization baseline.
+    prune_dominated: bool = False
 
 
 def find_path(
@@ -132,11 +140,29 @@ class _RouteArena:
         self.parent = [0] * (2 * n)
 
 
+@functools.lru_cache(maxsize=64)
+def _pooled_arena(
+    width: int, height: int, scheme: ClockingScheme, topology: Topology
+) -> _RouteArena:
+    """Process-wide arena pool.
+
+    An arena's successor tables depend only on (size, scheme, topology)
+    and its open/closed sets are generation-stamped, so one arena safely
+    serves every layout of the same shape — post-layout optimization and
+    database-wide sweeps reroute across thousands of short-lived layouts
+    and clones, and this keeps them from re-deriving the tables each
+    time.
+    """
+    return _RouteArena(width, height, scheme, topology)
+
+
 def _arena_for(layout: GateLayout) -> _RouteArena:
     """The layout's reusable search arena (lazily built, reset on resize)."""
     arena = layout._route_arena
     if arena is None:
-        arena = _RouteArena(layout.width, layout.height, layout.scheme, layout.topology)
+        arena = _pooled_arena(
+            layout.width, layout.height, layout.scheme, layout.topology
+        )
         layout._route_arena = arena
     return arena
 
@@ -162,6 +188,7 @@ def _find_path_fast(
     cap = None if options.max_length is None else options.max_length + 1
     buf = GateType.BUF
     hexa = layout.topology is not Topology.CARTESIAN
+    prune = options.prune_dominated and not hexa and layout.scheme.diagonal
 
     t_gidx = ty * width + tx
     src_idx = (source.z * height + source.y) * width + source.x
@@ -205,6 +232,8 @@ def _find_path_fast(
             if n_g == t_gidx:
                 step_idx = n_g
                 step_cost = cost + 1
+            elif prune and (xs[n_g] > tx or ys[n_g] > ty):
+                continue
             else:
                 gate = ground[n_g]
                 if gate is None:
@@ -308,11 +337,18 @@ def _admissible_steps(
 ) -> list[Tile]:
     """Positions a wire may extend to from ``current``."""
     steps: list[Tile] = []
+    prune = (
+        options.prune_dominated
+        and layout.topology is Topology.CARTESIAN
+        and layout.scheme.diagonal
+    )
     for n in neighbors(layout.topology, current.ground, layout.width, layout.height):
         if not layout.is_incoming_clocked(n, current):
             continue
         if n == target.ground:
             steps.append(n)
+            continue
+        if prune and (n.x > target.x or n.y > target.y):
             continue
         ground_gate = layout.get(n)
         if ground_gate is None:

@@ -4,7 +4,9 @@ The standing correctness gate for the physical-design stack: a seeded
 fuzz driver samples random logic networks and random flow configurations,
 checks a fixed oracle stack on every produced layout (DRC, functional
 equivalence, serialisation round-trips, cell-level invariants, and
-fast-vs-reference / optimized-vs-baseline differential agreement),
+fast-vs-reference routing, optimized-vs-baseline exact search, and
+incremental-vs-reference post-layout-optimization differential
+agreement),
 shrinks failing cases, and persists them to a replayable crash corpus.
 
 Entry points: ``mnt-bench fuzz`` on the command line, :func:`fuzz` from
@@ -14,6 +16,7 @@ code, and the corpus replay tests in ``tests/qa``.
 from .config import (
     DIFF_ENGINES,
     DIFF_EXACT,
+    DIFF_PLO,
     EXACT_SCHEMES,
     HEXAGONALIZATION,
     INORD,
@@ -32,6 +35,7 @@ from .oracles import (
     OracleFailure,
     check_engine_agreement,
     check_exact_baseline,
+    check_plo_agreement,
     run_oracle_stack,
 )
 from .shrink import ShrinkResult, shrink_network
@@ -42,6 +46,7 @@ __all__ = [
     "CrashCorpus",
     "DIFF_ENGINES",
     "DIFF_EXACT",
+    "DIFF_PLO",
     "EXACT_SCHEMES",
     "FlowConfig",
     "FlowSkipped",
@@ -60,6 +65,7 @@ __all__ = [
     "WIRE_REDUCTION",
     "check_engine_agreement",
     "check_exact_baseline",
+    "check_plo_agreement",
     "fuzz",
     "fuzz_one",
     "network_from_json",

@@ -45,6 +45,7 @@ EXACT_SCHEMES = ("2DDWave", "USE", "RES", "ESR", "ROW")
 #: Differential modes: run the flow twice and compare.
 DIFF_ENGINES = "engines"  # fast vs. reference A* routing engine
 DIFF_EXACT = "exact-baseline"  # optimized vs. baseline exact search
+DIFF_PLO = "optimization"  # incremental vs. reference post-layout optimization
 
 
 class FlowSkipped(Exception):
@@ -71,6 +72,8 @@ class FlowConfig:
     optimizations: tuple[str, ...] = ()
     library: str = "QCA ONE"
     engine: str = "fast"
+    #: Post-layout-optimization engine ("incremental" or "reference").
+    plo_engine: str = "incremental"
     exact_optimized: bool = True
     differential: str | None = None
     #: Seed for stochastic algorithms (NanoPlaceR rollouts).
@@ -94,6 +97,7 @@ class FlowConfig:
             "optimizations": list(self.optimizations),
             "library": self.library,
             "engine": self.engine,
+            "plo_engine": self.plo_engine,
             "exact_optimized": self.exact_optimized,
             "differential": self.differential,
             "algorithm_seed": self.algorithm_seed,
@@ -110,6 +114,7 @@ class FlowConfig:
             optimizations=tuple(record.get("optimizations", ())),
             library=record.get("library", "QCA ONE"),
             engine=record.get("engine", "fast"),
+            plo_engine=record.get("plo_engine", "incremental"),
             exact_optimized=record.get("exact_optimized", True),
             differential=record.get("differential"),
             algorithm_seed=record.get("algorithm_seed", 0),
@@ -191,7 +196,10 @@ class FlowConfig:
             return post_layout_optimization(
                 layout.clone(),
                 PostLayoutParams(
-                    max_passes=4, timeout=10.0, routing=self._routing(crossing_penalty=1)
+                    max_passes=4,
+                    timeout=10.0,
+                    engine=self.plo_engine,
+                    routing=self._routing(crossing_penalty=1),
                 ),
             ).layout
         if pass_name == WIRE_REDUCTION:
@@ -253,7 +261,11 @@ def _sample_2ddwave(rng: random.Random, algorithm: str) -> FlowConfig:
     hexed = rng.random() < 0.3
     if hexed:
         optimizations.append(HEXAGONALIZATION)
-    differential = DIFF_ENGINES if rng.random() < 0.3 else None
+    differential = None
+    if PLO in optimizations and rng.random() < 0.35:
+        differential = DIFF_PLO
+    elif rng.random() < 0.3:
+        differential = DIFF_ENGINES
     return FlowConfig(
         algorithm=algorithm,
         scheme="2DDWave",
@@ -261,6 +273,7 @@ def _sample_2ddwave(rng: random.Random, algorithm: str) -> FlowConfig:
         optimizations=tuple(optimizations),
         library="Bestagon" if hexed else "QCA ONE",
         engine="reference" if rng.random() < 0.15 else "fast",
+        plo_engine="reference" if rng.random() < 0.15 else "incremental",
         differential=differential,
         algorithm_seed=rng.randrange(1 << 16),
     )

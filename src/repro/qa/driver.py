@@ -20,6 +20,7 @@ from ..networks.logic_network import LogicNetwork
 from .config import (
     DIFF_ENGINES,
     DIFF_EXACT,
+    DIFF_PLO,
     FlowConfig,
     FlowSkipped,
     sample_flow,
@@ -30,6 +31,7 @@ from .oracles import (
     OracleFailure,
     check_engine_agreement,
     check_exact_baseline,
+    check_plo_agreement,
     run_oracle_stack,
 )
 from .shrink import shrink_network
@@ -132,6 +134,10 @@ def fuzz_one(
             failure = check_exact_baseline(network, flow)
             if failure is not None:
                 return flow, spec, network, failure, None
+        if flow.differential == DIFF_PLO:
+            failure = check_plo_agreement(network, flow)
+            if failure is not None:
+                return flow, spec, network, failure, None
 
         layout = flow.run(network)
     except FlowSkipped as exc:
@@ -154,6 +160,8 @@ def _still_fails(flow: FlowConfig, oracle: str, num_vectors: int):
                 return check_engine_agreement(network, flow) is not None
             if oracle == "exact_area":
                 return check_exact_baseline(network, flow) is not None
+            if oracle == "plo_agreement":
+                return check_plo_agreement(network, flow) is not None
             layout = flow.run(network)
         except FlowSkipped:
             return False

@@ -15,7 +15,10 @@ Each oracle inspects one invariant the benchmark database relies on:
 * ``engine_agreement`` — the fast and reference routing engines produce
   bit-identical layouts for the same flow (differential runs only);
 * ``exact_area`` — the optimized and baseline exact searches agree on
-  the minimal area (differential runs only).
+  the minimal area (differential runs only);
+* ``plo_agreement`` — the incremental and reference post-layout
+  optimization engines produce identical layouts with equal cost
+  tuples for the same flow (differential runs only).
 
 Oracles return ``None`` on success or a human-readable message on
 failure; the driver wraps messages into :class:`OracleFailure` records.
@@ -47,6 +50,7 @@ ORACLE_NAMES = (
     "cell_level",
     "engine_agreement",
     "exact_area",
+    "plo_agreement",
 )
 
 
@@ -204,5 +208,43 @@ def check_exact_baseline(network: LogicNetwork, flow) -> OracleFailure | None:
             "exact_area",
             f"optimized search found area {optimized.area()}, "
             f"baseline found {baseline.area()}",
+        )
+    return None
+
+
+def check_plo_agreement(network: LogicNetwork, flow) -> OracleFailure | None:
+    """Incremental and reference PLO engines must agree exactly.
+
+    Both engines implement the same greedy descent and are designed to
+    accept the same moves in the same order, so the resulting layouts
+    must be structurally identical — not merely equal in cost.  The
+    cost tuple (:func:`repro.optimization.post_layout.layout_cost`) is
+    still compared first because a cost mismatch is the more readable
+    failure message.  Fuzzed networks are small enough that the 10 s
+    PLO budget never fires, so timeouts cannot desynchronise the runs.
+    """
+    from ..optimization.post_layout import layout_cost
+    from .config import FlowSkipped
+
+    inc_flow = replace(flow, plo_engine="incremental", differential=None)
+    ref_flow = replace(flow, plo_engine="reference", differential=None)
+    try:
+        incremental = inc_flow.run(network)
+        reference = ref_flow.run(network)
+    except FlowSkipped:
+        return None  # scale/timeout limits are not engine disagreements
+    if incremental.topology is Topology.CARTESIAN:
+        inc_cost = layout_cost(incremental)
+        ref_cost = layout_cost(reference)
+        if inc_cost != ref_cost:
+            return OracleFailure(
+                "plo_agreement",
+                f"incremental PLO cost {inc_cost} != reference {ref_cost}",
+            )
+    diff = incremental.structural_diff(reference)
+    if diff is not None:
+        return OracleFailure(
+            "plo_agreement",
+            f"incremental and reference PLO engines diverge: {diff}",
         )
     return None

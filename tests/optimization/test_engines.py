@@ -1,0 +1,192 @@
+"""Engine-equality and edge-case tests for the optimization passes.
+
+The incremental PLO and wiring-reduction engines must be drop-in
+replacements for their retained reference implementations: same moves,
+same deletions, structurally identical layouts, equal cost tuples.
+These tests pin that contract on hand-built, library, and fuzzed
+layouts (via the deterministic ``rng`` fixture), and exercise the
+crossing-heavy and empty corners the benchmark circuits rarely hit.
+"""
+
+import pytest
+
+from repro.layout import GateLayout, TWODDWAVE, Topology
+from repro.networks.generators import GeneratorSpec, generate_network
+from repro.networks.library import full_adder, parity_checker
+from repro.optimization import (
+    PostLayoutParams,
+    post_layout_optimization,
+    to_hexagonal,
+    wiring_reduction,
+)
+from repro.optimization.post_layout import layout_cost
+from repro.physical_design import OrthoParams, orthogonal_layout
+from repro.qa import run_oracle_stack
+from tests.conftest import assert_layout_good
+
+
+def _crossing_heavy(rng):
+    """A generated network whose compact ortho layout has crossings."""
+    for _ in range(20):
+        spec = GeneratorSpec(
+            name="xheavy",
+            num_pis=4,
+            num_pos=3,
+            num_gates=14,
+            seed=rng.randrange(1 << 31),
+            locality=0.4,
+        )
+        net = generate_network(spec)
+        layout = orthogonal_layout(net).layout
+        if layout.num_crossings() > 0:
+            return net, layout
+    pytest.fail("no crossing-heavy layout found in 20 draws")
+
+
+class TestSharedDefaults:
+    def test_routing_default_not_shared(self):
+        # Regression: ``routing`` used to be a single class-level
+        # ``RoutingOptions()`` instance shared by every params object.
+        first = PostLayoutParams()
+        second = PostLayoutParams()
+        assert first.routing is not second.routing
+        assert first.routing == second.routing
+
+
+class TestPloEngineEquality:
+    @pytest.mark.parametrize("factory", [full_adder, lambda: parity_checker(4)])
+    def test_library_networks(self, factory):
+        net = factory()
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        inc = post_layout_optimization(
+            layout.clone(), PostLayoutParams(engine="incremental")
+        )
+        ref = post_layout_optimization(
+            layout.clone(), PostLayoutParams(engine="reference")
+        )
+        assert inc.layout.structurally_equal(ref.layout)
+        assert layout_cost(inc.layout) == layout_cost(ref.layout)
+        assert (inc.moves_applied, inc.passes) == (ref.moves_applied, ref.passes)
+        assert (inc.area_before, inc.area_after) == (ref.area_before, ref.area_after)
+
+    def test_fuzzed_networks(self, rng):
+        for _ in range(6):
+            spec = GeneratorSpec(
+                name="plofuzz",
+                num_pis=rng.randint(2, 4),
+                num_pos=rng.randint(1, 3),
+                num_gates=rng.randint(3, 14),
+                seed=rng.randrange(1 << 31),
+                locality=rng.choice((0.4, 0.75)),
+            )
+            net = generate_network(spec)
+            layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+            inc = post_layout_optimization(
+                layout.clone(), PostLayoutParams(engine="incremental")
+            )
+            ref = post_layout_optimization(
+                layout.clone(), PostLayoutParams(engine="reference")
+            )
+            assert inc.layout.structurally_equal(ref.layout), spec
+            assert layout_cost(inc.layout) == layout_cost(ref.layout), spec
+            assert_layout_good(inc.layout, net)
+
+    def test_crossing_heavy_layout(self, rng):
+        net, layout = _crossing_heavy(rng)
+        inc = post_layout_optimization(
+            layout.clone(), PostLayoutParams(engine="incremental")
+        )
+        ref = post_layout_optimization(
+            layout.clone(), PostLayoutParams(engine="reference")
+        )
+        assert inc.layout.structurally_equal(ref.layout)
+        assert_layout_good(inc.layout, net)
+
+    def test_empty_layout(self):
+        for engine in ("incremental", "reference"):
+            result = post_layout_optimization(
+                GateLayout(4, 4, TWODDWAVE), PostLayoutParams(engine=engine)
+            )
+            assert result.moves_applied == 0
+            assert result.area_after == 0
+
+    def test_unknown_engine_rejected(self):
+        layout = GateLayout(4, 4, TWODDWAVE)
+        with pytest.raises(ValueError, match="engine"):
+            post_layout_optimization(layout, PostLayoutParams(engine="turbo"))
+
+
+class TestWiringReductionEngineEquality:
+    def test_fuzzed_networks(self, rng):
+        for _ in range(6):
+            spec = GeneratorSpec(
+                name="wirefuzz",
+                num_pis=rng.randint(2, 4),
+                num_pos=rng.randint(1, 3),
+                num_gates=rng.randint(3, 14),
+                seed=rng.randrange(1 << 31),
+                locality=rng.choice((0.4, 0.75)),
+            )
+            net = generate_network(spec)
+            layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+            inc = wiring_reduction(layout, engine="incremental")
+            ref = wiring_reduction(layout, engine="reference")
+            assert inc.layout.structurally_equal(ref.layout), spec
+            assert inc.rows_deleted == ref.rows_deleted, spec
+            assert inc.columns_deleted == ref.columns_deleted, spec
+            assert_layout_good(inc.layout, net)
+
+    def test_crossing_heavy_layout(self, rng):
+        net, layout = _crossing_heavy(rng)
+        inc = wiring_reduction(layout, engine="incremental")
+        ref = wiring_reduction(layout, engine="reference")
+        assert inc.layout.structurally_equal(ref.layout)
+        assert (inc.rows_deleted, inc.columns_deleted) == (
+            ref.rows_deleted,
+            ref.columns_deleted,
+        )
+        assert_layout_good(inc.layout, net)
+
+    def test_empty_layout(self):
+        for engine in ("incremental", "reference"):
+            result = wiring_reduction(GateLayout(4, 4, TWODDWAVE), engine=engine)
+            assert result.rows_deleted == 0
+            assert result.columns_deleted == 0
+            assert result.layout.num_gates() == 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            wiring_reduction(GateLayout(4, 4, TWODDWAVE), engine="turbo")
+
+
+class TestHexagonalizationEdgeCases:
+    def test_crossing_heavy_layout_oracle_clean(self, rng):
+        net, layout = _crossing_heavy(rng)
+        hexed = to_hexagonal(layout).layout
+        assert hexed.topology is Topology.HEXAGONAL_EVEN_ROW
+        assert hexed.num_crossings() == layout.num_crossings()
+        failure = run_oracle_stack(net, hexed, library="Bestagon")
+        assert failure is None, str(failure)
+
+    def test_empty_layout(self):
+        hexed = to_hexagonal(GateLayout(4, 4, TWODDWAVE))
+        assert hexed.layout.num_gates() == 0
+        assert hexed.layout.topology is Topology.HEXAGONAL_EVEN_ROW
+
+
+class TestOracleStackAfterReduction:
+    def test_wire_reduced_layout_oracle_clean(self, rng):
+        spec = GeneratorSpec(
+            name="wireoracle",
+            num_pis=3,
+            num_pos=2,
+            num_gates=10,
+            seed=rng.randrange(1 << 31),
+            locality=0.75,
+        )
+        net = generate_network(spec)
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        optimised = post_layout_optimization(layout).layout
+        reduced = wiring_reduction(optimised).layout
+        failure = run_oracle_stack(net, reduced)
+        assert failure is None, str(failure)

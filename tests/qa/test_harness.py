@@ -59,6 +59,25 @@ class TestSampling:
             assert spec.num_pis >= 1 and spec.num_pos >= 1
 
 
+class TestPloDifferential:
+    def test_sampling_reaches_plo_mode(self):
+        from repro.qa import DIFF_PLO, PLO
+
+        flows = [sample_flow(run_seed(13, i)) for i in range(300)]
+        plo_diff = [f for f in flows if f.differential == DIFF_PLO]
+        assert plo_diff, "DIFF_PLO never sampled in 300 draws"
+        # The mode only makes sense when the flow actually runs PLO.
+        assert all(PLO in f.optimizations for f in plo_diff)
+        assert any(f.plo_engine == "reference" for f in flows)
+
+    def test_agreement_on_clean_flow(self):
+        from repro.qa import check_plo_agreement
+
+        flow = FlowConfig(algorithm="ortho", optimizations=("PLO",))
+        net = generate_network(GeneratorSpec("plo", 3, 2, 10, seed=4))
+        assert check_plo_agreement(net, flow) is None
+
+
 class TestNetJson:
     def test_roundtrip(self):
         net = small_network()
