@@ -1,0 +1,404 @@
+"""Serving-platform benchmark: facet index + pack store vs. naive paths.
+
+Simulates the hosted website's many-user load against a synthetic
+benchmark database: a thread pool issues a mixed stream of facet
+queries (Figure 1 filter combinations), artifact downloads (canonical
+``.fgl`` text) and parsed-layout loads, once through the pre-PR serving
+paths and once through the accelerated ones:
+
+* **old**: ``_query_linear`` (per-record scan, retained as the
+  differential oracle), loose-file reads, and a fresh XML parse per
+  layout load — exactly what ``BenchmarkDatabase`` did before the
+  facet index and pack store existed;
+* **new**: bitmap-indexed ``query``, pack-backed ``artifact_text``
+  (zlib slices behind ``os.pread``), and the digest-keyed parsed-layout
+  LRU behind ``load_layout``.
+
+Before any timing, the harness proves the two paths indistinguishable:
+every pooled selection returns identical record objects in identical
+order, every download is byte-identical to the loose file, and every
+served layout is structurally identical to a fresh parse.  Results
+(p50/p95 latency per operation type, throughput, aggregate speedup)
+go to ``BENCH_platform.json`` at the repository root.
+
+Runnable standalone (``python benchmarks/bench_platform.py``, add
+``--quick`` for a seconds-scale smoke subset) or under
+``pytest benchmarks/bench_platform.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import BenchmarkDatabase, Selection
+from repro.core.bench import BenchmarkFile
+from repro.core.selection import AbstractionLevel
+from repro.io import fgl_to_layout, layout_to_fgl
+from repro.physical_design import orthogonal_layout
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_platform.json"
+
+#: The acceptance floor on the aggregate serving speedup.
+REQUIRED_SPEEDUP = 5.0
+
+#: Deterministic workload seed (the bench is a fixed scenario, not a fuzzer).
+SEED = 777
+
+NAMES = (
+    "mux21",
+    "xor2",
+    "xnor2",
+    "half_adder",
+    "full_adder",
+    "par_gen",
+    "par_check",
+)
+NAMES_QUICK = ("mux21", "xor2", "half_adder")
+
+#: (gate library, clocking scheme, algorithm, optimizations) — the
+#: Figure 1 facet combinations each function is stored under.
+VARIANTS = (
+    ("QCA ONE", "2DDWave", "ortho", ()),
+    ("QCA ONE", "2DDWave", "ortho", ("InOrd (SDN)", "PLO")),
+    ("QCA ONE", "2DDWave", "NPR", ()),
+    ("QCA ONE", "USE", "exact", ()),
+    ("QCA ONE", "RES", "exact", ()),
+    ("QCA ONE", "ESR", "exact", ()),
+    ("Bestagon", "ROW", "ortho", ("45°",)),
+    ("Bestagon", "ROW", "exact", ()),
+)
+VARIANTS_QUICK = VARIANTS[:4]
+
+#: Synthetic suite labels; circuits are re-used across suites so the
+#: database reaches website-like record counts without extra flows.
+SUITES = ("trindade16", "fontes18")
+
+#: Operation mix (fractions of the op stream).
+QUERY_SHARE = 0.5
+TEXT_SHARE = 0.3  # remainder are parsed-layout loads
+
+#: Download skew: most requests hit a small hot set, like real traffic.
+HOT_FRACTION = 0.2
+HOT_PROBABILITY = 0.8
+
+
+def build_database(root: Path, quick: bool) -> BenchmarkDatabase:
+    """Synthesise a populated database: loose files + index + pack."""
+    names = NAMES_QUICK if quick else NAMES
+    variants = VARIANTS_QUICK if quick else VARIANTS
+    db = BenchmarkDatabase(root)
+    for suite in SUITES:
+        (root / suite).mkdir(parents=True, exist_ok=True)
+        for name in names:
+            network = get_benchmark("trindade16", name).build()
+            base = orthogonal_layout(network).layout
+            (root / suite / f"{name}.v").write_text(
+                f"// {suite}/{name} specification stub\n", encoding="utf-8"
+            )
+            db._records.append(
+                BenchmarkFile(
+                    suite=suite,
+                    name=name,
+                    abstraction_level=AbstractionLevel.NETWORK,
+                    path=f"{suite}/{name}.v",
+                )
+            )
+            for i, (library, scheme, algorithm, opts) in enumerate(variants):
+                layout = base.clone()
+                # Distinct payload per record: every artifact is its own
+                # cache entry, so the LRU is exercised honestly.
+                layout.name = f"{suite}_{name}_v{i}"
+                filename = BenchmarkDatabase.file_name(
+                    name, library, scheme, algorithm, opts
+                )
+                relpath = f"{suite}/{filename}"
+                (root / relpath).write_text(layout_to_fgl(layout), encoding="utf-8")
+                width, height = layout.bounding_box()
+                db._records.append(
+                    BenchmarkFile(
+                        suite=suite,
+                        name=name,
+                        abstraction_level=AbstractionLevel.GATE_LEVEL,
+                        path=relpath,
+                        gate_library=library,
+                        clocking_scheme=scheme,
+                        algorithm=algorithm,
+                        optimizations=opts,
+                        width=width,
+                        height=height,
+                        area=width * height + i,  # vary the area ranking
+                    )
+                )
+    db._save_index()
+    db.pack()
+    # Re-open: serving reads the persisted sidecars, like a fresh process.
+    return BenchmarkDatabase(root)
+
+
+def build_selections(rng: random.Random, quick: bool) -> list[Selection]:
+    """A pool of Figure 1 filter combinations, simple and compound."""
+    names = NAMES_QUICK if quick else NAMES
+    pool = [
+        Selection.make(),
+        Selection.make(best_only=True),
+        Selection.make(gate_libraries=["QCA ONE"]),
+        Selection.make(gate_libraries=["Bestagon"], best_only=True),
+        Selection.make(abstraction_levels="network"),
+        Selection.make(algorithms=["exact"], clocking_schemes=["USE", "RES"]),
+        Selection.make(optimizations=["PLO"]),
+    ]
+    libraries = ("QCA ONE", "Bestagon")
+    schemes = ("2DDWave", "USE", "RES", "ESR", "ROW")
+    algorithms = ("exact", "ortho", "NPR")
+    for _ in range(25):
+        pool.append(
+            Selection.make(
+                gate_libraries=rng.sample(libraries, rng.randrange(2)),
+                clocking_schemes=rng.sample(schemes, rng.randrange(3)),
+                algorithms=rng.sample(algorithms, rng.randrange(2)),
+                suites=rng.sample(SUITES, rng.randrange(2)),
+                names=rng.sample(names, rng.randrange(2)),
+                best_only=rng.random() < 0.4,
+            )
+        )
+    return pool
+
+
+def build_ops(rng, records, selections, count):
+    """The op stream: (kind, payload) tuples with download skew."""
+    gate_records = [
+        r for r in records if r.abstraction_level is AbstractionLevel.GATE_LEVEL
+    ]
+    hot = gate_records[: max(1, int(len(gate_records) * HOT_FRACTION))]
+    ops = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < QUERY_SHARE:
+            ops.append(("query", rng.choice(selections)))
+            continue
+        record = (
+            rng.choice(hot)
+            if rng.random() < HOT_PROBABILITY
+            else rng.choice(gate_records)
+        )
+        kind = "text" if roll < QUERY_SHARE + TEXT_SHARE else "layout"
+        ops.append((kind, record))
+    return ops
+
+
+def check_paths_agree(db: BenchmarkDatabase, selections) -> dict:
+    """The differential oracles: old and new paths must be identical."""
+    queries_identical = all(
+        len(db.query(s)) == len(db._query_linear(s))
+        and all(a is b for a, b in zip(db.query(s), db._query_linear(s)))
+        for s in selections
+    )
+    gate_records = [
+        r
+        for r in db.files()
+        if r.abstraction_level is AbstractionLevel.GATE_LEVEL
+    ]
+    payloads_identical = all(
+        db.artifact_text(r) == (db.root / r.path).read_text(encoding="utf-8")
+        for r in gate_records
+    )
+    layouts_identical = all(
+        db.load_layout(r).structural_diff(
+            fgl_to_layout((db.root / r.path).read_text(encoding="utf-8"))
+        )
+        is None
+        for r in gate_records
+    )
+    return {
+        "queries_identical": queries_identical,
+        "payloads_byte_identical": payloads_identical,
+        "layouts_structurally_identical": layouts_identical,
+    }
+
+
+def run_workload(ops, handlers, threads: int):
+    """Drain the op stream across a thread pool, recording latencies."""
+    latencies = {kind: [] for kind in ("query", "text", "layout")}
+    lock = threading.Lock()
+
+    def worker(assigned) -> None:
+        local = {kind: [] for kind in latencies}
+        for kind, payload in assigned:
+            started = time.perf_counter()
+            handlers[kind](payload)
+            local[kind].append(time.perf_counter() - started)
+        with lock:
+            for kind, values in local.items():
+                latencies[kind].extend(values)
+
+    pool = [
+        threading.Thread(target=worker, args=(ops[i::threads],))
+        for i in range(threads)
+    ]
+    started = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - started
+    return wall, latencies
+
+
+def _percentiles(values) -> dict:
+    if not values:
+        return {"count": 0, "p50": None, "p95": None}
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50": ordered[len(ordered) // 2],
+        "p95": ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))],
+        "mean": statistics.fmean(ordered),
+    }
+
+
+def _section(wall: float, latencies: dict, op_count: int) -> dict:
+    return {
+        "wall_seconds": wall,
+        "throughput_ops_per_second": op_count / wall if wall else None,
+        "latency_seconds": {
+            kind: _percentiles(values) for kind, values in latencies.items()
+        },
+    }
+
+
+def bench_platform(quick: bool) -> dict:
+    rng = random.Random(SEED)
+    op_count = 400 if quick else 4000
+    threads = 4 if quick else 8
+    with TemporaryDirectory(prefix="bench_platform_") as tmp:
+        db = build_database(Path(tmp), quick)
+        selections = build_selections(rng, quick)
+        correctness = check_paths_agree(db, selections)
+        ops = build_ops(rng, db.files(), selections, op_count)
+
+        root = db.root
+        old_handlers = {
+            "query": db._query_linear,
+            "text": lambda r: (root / r.path).read_text(encoding="utf-8"),
+            "layout": lambda r: fgl_to_layout(
+                (root / r.path).read_text(encoding="utf-8")
+            ),
+        }
+        new_handlers = {
+            "query": db.query,
+            "text": db.artifact_text,
+            "layout": db.load_layout,
+        }
+        old_wall, old_latencies = run_workload(ops, old_handlers, threads)
+        new_wall, new_latencies = run_workload(ops, new_handlers, threads)
+
+        stats = db.store.stats()
+        database = {
+            "records": len(db.files()),
+            "gate_level_records": sum(
+                1
+                for r in db.files()
+                if r.abstraction_level is AbstractionLevel.GATE_LEVEL
+            ),
+            "packed_entries": stats["packed_entries"],
+            "pack_bytes": stats["pack_bytes"],
+            "uncompressed_bytes": stats["uncompressed_bytes"],
+        }
+        db.store.close()
+    return {
+        "database": database,
+        "workload": {
+            "operations": op_count,
+            "threads": threads,
+            "selections_pooled": len(selections),
+            "mix": {
+                "query": QUERY_SHARE,
+                "download_text": TEXT_SHARE,
+                "load_layout": round(1 - QUERY_SHARE - TEXT_SHARE, 3),
+            },
+        },
+        "correctness": correctness,
+        "old": _section(old_wall, old_latencies, op_count),
+        "new": _section(new_wall, new_latencies, op_count),
+        "aggregate_speedup": old_wall / new_wall if new_wall else None,
+    }
+
+
+def run_all(
+    quick: bool = False, write: bool = True, output: Path | None = None
+) -> dict:
+    results = {"quick": quick, "platform": bench_platform(quick)}
+    if write:
+        path = output or RESULT_PATH
+        path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    return results
+
+
+def _check_correctness(platform: dict) -> None:
+    correctness = platform["correctness"]
+    assert correctness["queries_identical"], correctness
+    assert correctness["payloads_byte_identical"], correctness
+    assert correctness["layouts_structurally_identical"], correctness
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="platform")
+def test_platform_speedup(benchmark):
+    results = benchmark.pedantic(
+        run_all, kwargs={"write": False}, rounds=1, iterations=1
+    )
+    platform = results["platform"]
+    _check_correctness(platform)
+    assert platform["aggregate_speedup"] >= REQUIRED_SPEEDUP, (
+        f"serving stack only {platform['aggregate_speedup']:.1f}x faster "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def _print_results(platform: dict) -> None:
+    database = platform["database"]
+    print(
+        f"database: {database['records']} records, "
+        f"{database['packed_entries']} packed "
+        f"({database['pack_bytes']} B compressed / "
+        f"{database['uncompressed_bytes']} B raw)"
+    )
+    for label in ("old", "new"):
+        section = platform[label]
+        print(
+            f"{label:3s}: {section['wall_seconds']:7.3f} s wall, "
+            f"{section['throughput_ops_per_second']:10.0f} ops/s"
+        )
+        for kind, row in section["latency_seconds"].items():
+            if not row["count"]:
+                continue
+            print(
+                f"     {kind:7s} p50 {row['p50'] * 1e6:9.1f} µs  "
+                f"p95 {row['p95'] * 1e6:9.1f} µs  (n={row['count']})"
+            )
+    print(f"aggregate speedup: {platform['aggregate_speedup']:.1f}x")
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    output = None
+    if "--output" in sys.argv:
+        output = Path(sys.argv[sys.argv.index("--output") + 1])
+    results = run_all(quick, output=output)
+    _print_results(results["platform"])
+    _check_correctness(results["platform"])
+    if not results["quick"]:
+        assert results["platform"]["aggregate_speedup"] >= REQUIRED_SPEEDUP
+    print(f"written to {output or RESULT_PATH}")

@@ -5,7 +5,10 @@ equivalent of the hosted website:
 
 * ``mnt-bench list`` — show the registered benchmark functions;
 * ``mnt-bench generate`` — populate a local database directory;
-* ``mnt-bench query`` — filter generated artifacts (Figure 1's form);
+* ``mnt-bench query`` — filter generated artifacts (Figure 1's form),
+  optionally as machine-readable JSON (``--json``);
+* ``mnt-bench pack`` — migrate loose ``.fgl`` artifacts into the
+  compressed binary pack store;
 * ``mnt-bench best`` — run the portfolio for one function and print the
   paper-style table row;
 * ``mnt-bench show`` — render an ``.fgl`` file as ASCII art;
@@ -19,6 +22,7 @@ equivalent of the hosted website:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -116,16 +120,30 @@ def _cmd_optimize(args) -> int:
 
 def _cmd_query(args) -> int:
     db = BenchmarkDatabase(args.database)
-    selection = Selection.make(
-        abstraction_levels=args.level or (),
-        gate_libraries=args.library or (),
-        clocking_schemes=args.scheme or (),
-        algorithms=args.algorithm or (),
-        optimizations=args.optimization or (),
-        suites=args.suite or (),
-        best_only=args.best,
-    )
+    try:
+        selection = Selection.make(
+            abstraction_levels=args.level or (),
+            gate_libraries=args.library or (),
+            clocking_schemes=args.scheme or (),
+            algorithms=args.algorithm or (),
+            optimizations=args.optimization or (),
+            suites=args.suite or (),
+            names=args.name or (),
+            best_only=args.best,
+        )
+    except ValueError as exc:
+        print(f"mnt-bench query: {exc}", file=sys.stderr)
+        return 2
     hits = db.query(selection)
+    if args.json:
+        payload = {
+            "count": len(hits),
+            "files": [record.to_json() for record in hits],
+        }
+        if args.facets:
+            payload["facets"] = facet_counts(db.files())
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for record in hits:
         area = f"A={record.area}" if record.area is not None else ""
         print(f"{record.path:60s} {area}")
@@ -135,6 +153,21 @@ def _cmd_query(args) -> int:
             print(f"{facet}:")
             for value, count in sorted(values.items()):
                 print(f"  {value:20s} {count}")
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    stats = db.pack()
+    print(
+        f"packed {stats['packed']} artifact(s) "
+        f"({stats['already_packed']} already packed, {stats['missing']} missing)"
+    )
+    print(
+        f"pack: {stats['packed_entries']} entries, "
+        f"{stats['pack_bytes']} bytes compressed / "
+        f"{stats['uncompressed_bytes']} bytes raw"
+    )
     return 0
 
 
@@ -273,8 +306,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--algorithm", action="append")
     query.add_argument("--optimization", action="append")
     query.add_argument("--suite", action="append")
+    query.add_argument("--name", action="append", help="restrict to benchmark name(s)")
     query.add_argument("--best", action="store_true", help="area-best file per function")
     query.add_argument("--facets", action="store_true", help="print facet counts")
+    query.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of text"
+    )
+
+    pack = sub.add_parser(
+        "pack", help="migrate loose .fgl artifacts into the compressed pack store"
+    )
+    pack.add_argument("--database", default="mnt_bench_db")
 
     best = sub.add_parser("best", help="run the portfolio for one function")
     best.add_argument("benchmark", metavar="SUITE/NAME")
@@ -326,6 +368,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "optimize": _cmd_optimize,
         "query": _cmd_query,
+        "pack": _cmd_pack,
         "best": _cmd_best,
         "show": _cmd_show,
         "svg": _cmd_svg,

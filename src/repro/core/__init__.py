@@ -9,6 +9,8 @@ from .bench import (
     GenerationReport,
 )
 from .best import BESTAGON, QCA_ONE, BestParams, BestResult, FlowCandidate, best_layout
+from .facet_index import FacetIndex, records_digest
+from .store import DEFAULT_LAYOUT_CACHE_SIZE, ArtifactStore
 from .paper_data import BESTAGON_TABLE, QCA_ONE_TABLE, PaperEntry, paper_entry
 from .selection import (
     ALGORITHMS,
@@ -24,8 +26,11 @@ from .table import TableRow, baseline_area, format_table, table_row
 __all__ = [
     "ALGORITHMS",
     "AbstractionLevel",
+    "ArtifactStore",
     "BESTAGON",
     "BESTAGON_TABLE",
+    "DEFAULT_LAYOUT_CACHE_SIZE",
+    "FacetIndex",
     "BenchmarkDatabase",
     "BenchmarkFile",
     "BestParams",
@@ -48,6 +53,7 @@ __all__ = [
     "facet_counts",
     "format_table",
     "paper_entry",
+    "records_digest",
     "table_row",
 ]
 

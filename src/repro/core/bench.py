@@ -44,7 +44,7 @@ from ..layout.gate_layout import GateLayout
 from ..networks.logic_network import LogicNetwork
 from ..networks.simulation import output_signature
 from ..networks.verilog import network_to_verilog, parse_verilog, write_verilog
-from ..io.fgl import fgl_to_layout, layout_to_fgl, read_fgl
+from ..io.fgl import fgl_to_layout, layout_to_fgl
 from ..optimization.hexagonalization import to_hexagonal
 from ..optimization.input_ordering import InputOrderingParams, input_ordering
 from ..optimization.post_layout import PostLayoutParams, post_layout_optimization
@@ -56,7 +56,9 @@ from ..physical_design.nanoplacer import (
     nanoplacer_layout,
 )
 from ..physical_design.ortho import OrthoError, orthogonal_layout
+from .facet_index import FacetIndex, records_digest
 from .selection import AbstractionLevel, Selection
+from .store import DEFAULT_LAYOUT_CACHE_SIZE, ArtifactStore
 
 #: Short library tags used in file names, like the upstream site.
 _LIBRARY_TAGS = {"QCA ONE": "ONE", "Bestagon": "Bestagon"}
@@ -531,15 +533,29 @@ def _execute_tasks(
 
 
 class BenchmarkDatabase:
-    """A local MNT Bench artifact store."""
+    """A local MNT Bench artifact store.
+
+    Serving is index- and pack-accelerated: :meth:`query` runs over
+    bitmap posting sets (:class:`~repro.core.facet_index.FacetIndex`),
+    and gate-level payloads are read from a compressed pack file behind
+    a parsed-layout LRU (:class:`~repro.core.store.ArtifactStore`).
+    Both layers are transparent — loose ``.fgl`` files stay the
+    canonical artifacts, legacy databases without the sidecars work
+    unchanged, and ``_query_linear`` retains the original scan as the
+    differential oracle.
+    """
 
     INDEX_NAME = "index.json"
 
-    def __init__(self, root) -> None:
+    def __init__(
+        self, root, layout_cache_size: int = DEFAULT_LAYOUT_CACHE_SIZE
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._records: list[BenchmarkFile] = []
         self._flow_cache: dict[str, dict] = {}
+        self._facets: FacetIndex | None = None
+        self.store = ArtifactStore(self.root, layout_cache_size=layout_cache_size)
         self._load_index()
 
     # -- persistence ----------------------------------------------------------
@@ -553,12 +569,17 @@ class BenchmarkDatabase:
             data = json.loads(path.read_text(encoding="utf-8"))
             self._records = [BenchmarkFile.from_json(r) for r in data.get("files", [])]
             self._flow_cache = data.get("flow_cache", {})
+            # Stale or missing sidecars fall back to an in-memory build
+            # on the first query.
+            self._facets = FacetIndex.load(self.root, self._records)
 
     def _save_index(self) -> None:
         data = {"files": [r.to_json() for r in self._records]}
         if self._flow_cache:
             data["flow_cache"] = self._flow_cache
         self._index_path().write_text(json.dumps(data, indent=2), encoding="utf-8")
+        self._facet_index().save(self.root, records_digest(self._records))
+        self.store.save()
 
     # -- queries -----------------------------------------------------------------
 
@@ -571,8 +592,33 @@ class BenchmarkDatabase:
         ``area == 0`` must rank best, not as absent."""
         return (record.area is None, record.area if record.area is not None else 0)
 
+    def _facet_index(self) -> FacetIndex:
+        """The current facet index, rebuilt whenever the record list
+        changed behind its back (count mismatch)."""
+        if self._facets is None or self._facets.num_records != len(self._records):
+            self._facets = FacetIndex.build(self._records)
+        return self._facets
+
     def query(self, selection: Selection) -> list[BenchmarkFile]:
-        """All records passing the filter, area-best first per function."""
+        """All records passing the filter, area-best first per function.
+
+        Facet-indexed: the filter collapses to a few bitmap AND/ORs and
+        ``best_only`` reads precomputed per-group area rankings; results
+        are identical (objects and order) to :meth:`_query_linear`.
+        """
+        index = self._facet_index()
+        bits = index.query_bitmap(selection)
+        if selection.best_only:
+            ordinals = index.best_ordinals(bits)
+        else:
+            ordinals = index.iter_ordinals(bits)
+        records = self._records
+        return [records[i] for i in index.sorted_ordinals(ordinals)]
+
+    def _query_linear(self, selection: Selection) -> list[BenchmarkFile]:
+        """The original per-record scan, retained as the differential
+        oracle for :meth:`query` (property tests and the serving
+        benchmark's baseline path)."""
         hits = [r for r in self._records if selection.matches(r)]
         if selection.best_only:
             best: dict[tuple, BenchmarkFile] = {}
@@ -590,10 +636,48 @@ class BenchmarkDatabase:
         )
 
     def load_layout(self, record: BenchmarkFile) -> GateLayout:
-        """Re-read a gate-level artifact from disk."""
+        """The parsed gate-level artifact — LRU-cached by content digest,
+        so repeated loads of an unchanged artifact skip the XML parser."""
         if record.abstraction_level is not AbstractionLevel.GATE_LEVEL:
             raise ValueError("only gate-level records reference .fgl files")
-        return read_fgl(self.root / record.path)
+        return self.store.load_layout(record.path)
+
+    def artifact_text(self, record: BenchmarkFile) -> str:
+        """The canonical artifact payload (the download the website
+        serves): pack-backed for gate-level records, loose file
+        otherwise."""
+        if record.abstraction_level is AbstractionLevel.GATE_LEVEL:
+            return self.store.read_text(record.path)
+        return (self.root / record.path).read_text(encoding="utf-8")
+
+    def pack(self) -> dict:
+        """Migrate loose gate-level artifacts into the pack file.
+
+        Idempotent; newly generated artifacts are packed automatically,
+        so this is only needed once for databases predating the pack
+        store.  Returns a stats dict (packed/already/missing counts plus
+        :meth:`~repro.core.store.ArtifactStore.stats`).
+        """
+        packed = already = missing = 0
+        for record in self._records:
+            if record.abstraction_level is not AbstractionLevel.GATE_LEVEL:
+                continue
+            if self.store.contains(record.path):
+                already += 1
+                continue
+            loose = self.root / record.path
+            if not loose.exists():
+                missing += 1
+                continue
+            self.store.add_text(record.path, loose.read_text(encoding="utf-8"))
+            packed += 1
+        self.store.save()
+        return {
+            "packed": packed,
+            "already_packed": already,
+            "missing": missing,
+            **self.store.stats(),
+        }
 
     # -- generation ----------------------------------------------------------------
 
@@ -797,6 +881,11 @@ class BenchmarkDatabase:
             if existing.path == record.path:
                 return existing
         self._records.append(record)
+        if self._facets is not None:
+            if self._facets.num_records == len(self._records) - 1:
+                self._facets.add(record)  # incremental: stay in lockstep
+            else:
+                self._facets = None  # records were mutated externally
         return record
 
     def _cache_key(self, signature: tuple, flow: str, params: GenerationParams) -> str:
@@ -871,6 +960,9 @@ class BenchmarkDatabase:
             candidate.optimizations,
         )
         (directory / filename).write_text(candidate.fgl_text, encoding="utf-8")
+        # Auto-pack: the loose file stays the canonical artifact, the
+        # pack copy is what serving reads.
+        self.store.add_text(f"{suite}/{filename}", candidate.fgl_text)
         return BenchmarkFile(
             suite=suite,
             name=name,

@@ -37,6 +37,33 @@ CLOCKING_SCHEMES = ("2DDWave", "USE", "RES", "ESR", "ROW")
 ALGORITHMS = ("exact", "ortho", "NPR")
 OPTIMIZATIONS = ("PLO", "InOrd (SDN)", "45°")
 
+#: Community submissions carry this algorithm tag (see
+#: :mod:`repro.core.contribute`); accepted alongside the canonical
+#: algorithms when validating selections.
+CONTRIBUTED_ALGORITHM = "contributed"
+
+#: Facet → canonical values accepted by :meth:`Selection.make`,
+#: lowercased (matching is case-insensitive throughout).
+_CANONICAL_FACET_VALUES = {
+    "gate library": frozenset(v.lower() for v in GATE_LIBRARIES),
+    "clocking scheme": frozenset(v.lower() for v in CLOCKING_SCHEMES),
+    "algorithm": frozenset(v.lower() for v in ALGORITHMS) | {CONTRIBUTED_ALGORITHM},
+    "optimization": frozenset(v.lower() for v in OPTIMIZATIONS),
+}
+
+
+def _validate_facet(facet: str, values: frozenset) -> frozenset:
+    """Reject facet values the web form never offers — a typo like
+    ``"2ddwav"`` would otherwise silently match nothing."""
+    allowed = _CANONICAL_FACET_VALUES[facet]
+    unknown = sorted(v for v in values if v not in allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {facet} value(s): {', '.join(map(repr, unknown))}; "
+            f"expected one of: {', '.join(sorted(allowed))}"
+        )
+    return values
+
 
 @dataclass(frozen=True)
 class Selection:
@@ -64,7 +91,13 @@ class Selection:
         names=(),
         best_only=False,
     ) -> "Selection":
-        """Convenience constructor accepting any iterables/strings."""
+        """Convenience constructor accepting any iterables/strings.
+
+        Facet values are validated against the canonical tuples the web
+        form offers (case-insensitively); unknown values raise
+        :class:`ValueError` instead of silently matching nothing.
+        Suites and names are free-form and not validated.
+        """
 
         def to_set(value) -> frozenset:
             if isinstance(value, str):
@@ -81,10 +114,10 @@ class Selection:
         )
         return Selection(
             levels,
-            to_set(gate_libraries),
-            to_set(clocking_schemes),
-            to_set(algorithms),
-            to_set(optimizations),
+            _validate_facet("gate library", to_set(gate_libraries)),
+            _validate_facet("clocking scheme", to_set(clocking_schemes)),
+            _validate_facet("algorithm", to_set(algorithms)),
+            _validate_facet("optimization", to_set(optimizations)),
             to_set(suites),
             to_set(names),
             best_only,

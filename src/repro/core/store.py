@@ -1,0 +1,269 @@
+"""Compressed binary artifact store for the benchmark database.
+
+The website's download traffic is dominated by gate-level ``.fgl``
+files — small, highly compressible XML documents that the naive store
+kept as loose pretty-printed text and re-parsed on every
+``load_layout``.  :class:`ArtifactStore` gives the database a serving-
+grade backend using only the standard library:
+
+* **Pack file** (``artifacts.pack``): an append-only blob of
+  zlib-compressed artifact payloads behind a magic header.  The offset
+  table lives in a JSON sidecar (``pack_index.json``) mapping each
+  record-relative path to ``(offset, length, size, sha256)``.  The
+  canonical ``.fgl`` text remains the logical format — the pack stores
+  its exact bytes, and reads verify the content digest before trusting
+  a slice.
+* **Read-through**: paths absent from the pack (legacy databases,
+  foreign files) fall back transparently to the loose file on disk;
+  corrupted or truncated pack entries are dropped and served from the
+  loose copy, so a damaged pack degrades to the old behaviour instead
+  of failing.
+* **Layout cache**: a bounded, thread-safe LRU keyed by the payload's
+  content digest caches *parsed* :class:`~repro.layout.gate_layout.
+  GateLayout` objects; repeated ``load_layout``/download hits never
+  touch the XML parser.  Callers receive :meth:`~repro.layout.
+  gate_layout.GateLayout.clone` copies, so mutating a served layout
+  cannot corrupt the cache (layout tiles are immutable value objects —
+  a clone is two orders of magnitude cheaper than a parse).
+
+Reads use ``os.pread`` where available, so concurrent serving threads
+share one file descriptor without seek races.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+
+from ..io.fgl import fgl_to_layout
+from ..layout.gate_layout import GateLayout
+
+#: Pack format magic + version byte-string at offset 0.
+PACK_MAGIC = b"MNTPACK1\n"
+
+#: Bump when the sidecar's on-disk layout changes.
+PACK_INDEX_VERSION = 1
+
+PACK_NAME = "artifacts.pack"
+PACK_INDEX_NAME = "pack_index.json"
+
+#: zlib level — .fgl XML compresses ~10x already at moderate effort.
+_COMPRESSION_LEVEL = 6
+
+#: Default bound on the parsed-layout LRU (entries, not bytes; FCN
+#: layouts are a few hundred tiles each).
+DEFAULT_LAYOUT_CACHE_SIZE = 128
+
+
+class _LayoutCache:
+    """Thread-safe bounded LRU: content digest → parsed layout."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, GateLayout] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> GateLayout | None:
+        with self._lock:
+            layout = self._data.get(key)
+            if layout is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return layout
+
+    def put(self, key: str, layout: GateLayout) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = layout
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class ArtifactStore:
+    """Pack-backed artifact access for one database directory."""
+
+    def __init__(
+        self, root, layout_cache_size: int = DEFAULT_LAYOUT_CACHE_SIZE
+    ) -> None:
+        self.root = Path(root)
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._lock = threading.Lock()
+        self._pack_fd: int | None = None
+        self._cache = _LayoutCache(layout_cache_size)
+        self._load_index()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def pack_path(self) -> Path:
+        return self.root / PACK_NAME
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / PACK_INDEX_NAME
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load_index(self) -> None:
+        """Load the offset table; any inconsistency degrades to an empty
+        table (pure loose-file read-through) rather than an error."""
+        path = self.index_path
+        if not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("version") != PACK_INDEX_VERSION:
+                return
+            entries = data.get("entries", {})
+            pack = self.pack_path
+            if not pack.exists():
+                return
+            with open(pack, "rb") as handle:
+                if handle.read(len(PACK_MAGIC)) != PACK_MAGIC:
+                    return
+            pack_size = pack.stat().st_size
+            usable: dict[str, dict] = {}
+            for relpath, entry in entries.items():
+                offset = int(entry["offset"])
+                length = int(entry["length"])
+                if offset < len(PACK_MAGIC) or offset + length > pack_size:
+                    continue  # truncated pack: skip the stale tail
+                usable[relpath] = {
+                    "offset": offset,
+                    "length": length,
+                    "size": int(entry["size"]),
+                    "sha256": str(entry["sha256"]),
+                }
+            self._entries = usable
+            self._dirty = len(usable) != len(entries)
+        except (ValueError, KeyError, TypeError, OSError):
+            self._entries = {}
+
+    def save(self) -> None:
+        """Persist the offset table if it changed since the last save."""
+        if not self._dirty:
+            return
+        data = {"version": PACK_INDEX_VERSION, "entries": self._entries}
+        self.index_path.write_text(json.dumps(data, indent=2), encoding="utf-8")
+        self._dirty = False
+
+    # -- low-level pack access -----------------------------------------------
+
+    def _read_pack(self, offset: int, length: int) -> bytes:
+        if hasattr(os, "pread"):
+            with self._lock:
+                if self._pack_fd is None:
+                    self._pack_fd = os.open(str(self.pack_path), os.O_RDONLY)
+                fd = self._pack_fd
+            return os.pread(fd, length, offset)
+        with self._lock, open(self.pack_path, "rb") as handle:
+            handle.seek(offset)
+            return handle.read(length)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pack_fd is not None:
+                os.close(self._pack_fd)
+                self._pack_fd = None
+
+    # -- public API ----------------------------------------------------------
+
+    def contains(self, relpath: str) -> bool:
+        """Is ``relpath`` served from the pack (vs. loose fallback)?"""
+        return relpath in self._entries
+
+    def add_text(self, relpath: str, text: str) -> None:
+        """Append one artifact payload to the pack and index it."""
+        data = text.encode("utf-8")
+        compressed = zlib.compress(data, _COMPRESSION_LEVEL)
+        with self._lock:
+            with open(self.pack_path, "ab") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    handle.write(PACK_MAGIC)
+                offset = handle.tell()
+                handle.write(compressed)
+            self._entries[relpath] = {
+                "offset": offset,
+                "length": len(compressed),
+                "size": len(data),
+                "sha256": hashlib.sha256(data).hexdigest(),
+            }
+            self._dirty = True
+
+    def read_text(self, relpath: str) -> str:
+        """The canonical artifact text: pack slice when indexed and
+        intact, else the loose file."""
+        entry = self._entries.get(relpath)
+        if entry is not None:
+            try:
+                blob = self._read_pack(entry["offset"], entry["length"])
+                data = zlib.decompress(blob)
+                if (
+                    len(data) == entry["size"]
+                    and hashlib.sha256(data).hexdigest() == entry["sha256"]
+                ):
+                    return data.decode("utf-8")
+            except (OSError, zlib.error, ValueError):
+                pass
+            # Corrupted or unreadable slice: drop the entry and recover
+            # from the loose copy.
+            with self._lock:
+                self._entries.pop(relpath, None)
+                self._dirty = True
+        loose = self.root / relpath
+        if loose.exists():
+            return loose.read_text(encoding="utf-8")
+        raise FileNotFoundError(f"artifact {relpath!r} neither packed nor on disk")
+
+    def load_layout(self, relpath: str) -> GateLayout:
+        """Parse (or serve from the LRU) the layout stored at ``relpath``.
+
+        Returns a private clone; the cached instance is never exposed.
+        """
+        entry = self._entries.get(relpath)
+        if entry is not None:
+            cached = self._cache.get(entry["sha256"])
+            if cached is not None:
+                return cached.clone()
+        text = self.read_text(relpath)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        cached = self._cache.get(digest)
+        if cached is None:
+            cached = fgl_to_layout(text)
+            self._cache.put(digest, cached)
+        return cached.clone()
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving counters and pack geometry, for reports and benches."""
+        pack_bytes = self.pack_path.stat().st_size if self.pack_path.exists() else 0
+        raw_bytes = sum(entry["size"] for entry in self._entries.values())
+        return {
+            "packed_entries": len(self._entries),
+            "pack_bytes": pack_bytes,
+            "uncompressed_bytes": raw_bytes,
+            "cache_entries": len(self._cache),
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+        }

@@ -1,6 +1,14 @@
 """File formats: .fgl (gate level), .qca (QCADesigner), .sqd (SiQAD)."""
 
-from .fgl import FGL_VERSION, FglError, fgl_to_layout, layout_to_fgl, read_fgl, write_fgl
+from .fgl import (
+    FGL_VERSION,
+    FglError,
+    fgl_to_layout,
+    layout_to_fgl,
+    layout_to_fgl_reference,
+    read_fgl,
+    write_fgl,
+)
 from .qca import cell_layout_to_qca, qca_to_cell_layout, read_qca, write_qca
 from .sqd import read_sqd, sidb_layout_to_sqd, sqd_to_sidb_layout, write_sqd
 
@@ -10,6 +18,7 @@ __all__ = [
     "cell_layout_to_qca",
     "fgl_to_layout",
     "layout_to_fgl",
+    "layout_to_fgl_reference",
     "qca_to_cell_layout",
     "read_qca",
     "read_sqd",

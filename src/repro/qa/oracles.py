@@ -8,7 +8,8 @@ Each oracle inspects one invariant the benchmark database relies on:
   (word-level simulation via :func:`repro.layout.equivalence`);
 * ``fgl_roundtrip`` — ``.fgl`` serialisation is lossless *and* stable
   (write → read reproduces the layout structurally, write → read →
-  write reproduces the byte stream);
+  write reproduces the byte stream, and the streaming writer matches
+  the retained minidom reference writer byte-for-byte);
 * ``cell_level`` — the gate library applies cleanly, the resulting cell
   layout passes cell-level DRC, and its ``.qca``/``.sqd`` serialisation
   round-trips;
@@ -30,7 +31,7 @@ from dataclasses import dataclass, replace
 
 from ..celllayout.verification import check_qca_cells, check_sidb_dots
 from ..gatelibs.apply import apply_gate_library
-from ..io.fgl import FglError, fgl_to_layout, layout_to_fgl
+from ..io.fgl import FglError, fgl_to_layout, layout_to_fgl, layout_to_fgl_reference
 from ..io.qca import cell_layout_to_qca, qca_to_cell_layout
 from ..io.sqd import sidb_layout_to_sqd, sqd_to_sidb_layout
 from ..layout.coordinates import Topology
@@ -95,6 +96,9 @@ def check_fgl_roundtrip(network: LogicNetwork, layout: GateLayout) -> str | None
     second = layout_to_fgl(restored)
     if second != text:
         return "write→read→write is not byte-stable"
+    reference = layout_to_fgl_reference(layout)
+    if text != reference:
+        return "streaming writer diverges from the minidom reference output"
     return None
 
 

@@ -38,6 +38,84 @@ def test_generate_and_query(tmp_path, capsys):
     assert "gate_library" in out
 
 
+def _fabricated_db(root):
+    """A small database without running any flows (fast)."""
+    from repro.core import BenchmarkDatabase
+    from repro.core.bench import BenchmarkFile
+    from repro.core.selection import AbstractionLevel
+    from repro.io import layout_to_fgl
+    from repro.networks.library import mux21
+    from repro.physical_design import orthogonal_layout
+
+    db = BenchmarkDatabase(root)
+    layout = orthogonal_layout(mux21()).layout
+    text = layout_to_fgl(layout)
+    relpath = "trindade16/mux21_ONE_2DDWave_ortho.fgl"
+    (root / "trindade16").mkdir(parents=True, exist_ok=True)
+    (root / relpath).write_text(text, encoding="utf-8")
+    width, height = layout.bounding_box()
+    db._records.append(
+        BenchmarkFile(
+            suite="trindade16",
+            name="mux21",
+            abstraction_level=AbstractionLevel.GATE_LEVEL,
+            path=relpath,
+            gate_library="QCA ONE",
+            clocking_scheme="2DDWave",
+            algorithm="ortho",
+            width=width,
+            height=height,
+            area=width * height,
+        )
+    )
+    db._save_index()
+    return relpath
+
+
+def test_query_json(tmp_path, capsys):
+    import json
+
+    relpath = _fabricated_db(tmp_path)
+    code = main(
+        [
+            "query", "--database", str(tmp_path),
+            "--json", "--algorithm", "ortho", "--name", "mux21", "--facets",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["files"][0]["path"] == relpath
+    assert payload["files"][0]["algorithm"] == "ortho"
+    assert payload["facets"]["gate_library"] == {"QCA ONE": 1}
+
+
+def test_query_unknown_facet_value_exits_2(tmp_path, capsys):
+    _fabricated_db(tmp_path)
+    code = main(["query", "--database", str(tmp_path), "--scheme", "2ddwav"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown clocking scheme" in err
+    assert "2ddwav" in err
+
+
+def test_pack_command(tmp_path, capsys):
+    _fabricated_db(tmp_path)
+    assert main(["pack", "--database", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "packed 1 artifact(s)" in out
+    assert (tmp_path / "artifacts.pack").exists()
+
+    # Idempotent: a second run packs nothing new.
+    assert main(["pack", "--database", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "packed 0 artifact(s)" in out
+    assert "1 already packed" in out
+
+    assert main(["query", "--database", str(tmp_path)]) == 0
+    assert "1 file(s)" in capsys.readouterr().out
+
+
 def test_best_command(capsys):
     code = main(["best", "trindade16/xor2", "--exact-timeout", "3"])
     assert code == 0

@@ -1,0 +1,223 @@
+"""Differential and persistence tests for the facet-indexed query path.
+
+``BenchmarkDatabase.query`` must be indistinguishable from the retained
+linear scan (``_query_linear``) — same objects, same order — across
+random record sets and random selections, whether the index was built
+in one pass, grown incrementally, or reloaded from its sidecar.
+"""
+
+import json
+
+from repro.core import BenchmarkDatabase, Selection
+from repro.core.bench import BenchmarkFile
+from repro.core.facet_index import (
+    FACETS_NAME,
+    FacetIndex,
+    records_digest,
+)
+from repro.core.selection import AbstractionLevel
+
+SUITES = ("trindade16", "fontes18", "iscas85")
+NAMES = ("mux21", "xor2", "full_adder", "c17")
+LIBRARIES = ("QCA ONE", "Bestagon")
+SCHEMES = ("2DDWave", "USE", "RES", "ESR", "ROW")
+ALGORITHMS = ("exact", "ortho", "NPR")
+OPTIMIZATIONS = ("PLO", "InOrd (SDN)", "45°")
+
+
+def random_records(rng, count):
+    records = []
+    for i in range(count):
+        suite = rng.choice(SUITES)
+        name = rng.choice(NAMES)
+        if rng.random() < 0.2:
+            records.append(
+                BenchmarkFile(
+                    suite=suite,
+                    name=name,
+                    abstraction_level=AbstractionLevel.NETWORK,
+                    path=f"{suite}/{name}_{i}.v",
+                )
+            )
+            continue
+        # Small area range on purpose: ties exercise the stable-pick
+        # ordering; None and 0 exercise the rank edge cases.
+        area = rng.choice([None, 0, rng.randrange(6), rng.randrange(40)])
+        records.append(
+            BenchmarkFile(
+                suite=suite,
+                name=name,
+                abstraction_level=AbstractionLevel.GATE_LEVEL,
+                path=f"{suite}/{name}_{i}.fgl",
+                gate_library=rng.choice(LIBRARIES),
+                clocking_scheme=rng.choice(SCHEMES),
+                algorithm=rng.choice(ALGORITHMS),
+                optimizations=tuple(
+                    rng.sample(OPTIMIZATIONS, rng.randrange(len(OPTIMIZATIONS) + 1))
+                ),
+                width=area,
+                height=1 if area is not None else None,
+                area=area,
+            )
+        )
+    return records
+
+
+def random_selection(rng):
+    def pick(values):
+        return tuple(rng.sample(values, rng.randrange(min(3, len(values) + 1))))
+
+    return Selection.make(
+        abstraction_levels=pick(("network", "gate-level")),
+        gate_libraries=pick(LIBRARIES),
+        clocking_schemes=pick(SCHEMES),
+        algorithms=pick(ALGORITHMS),
+        optimizations=pick(OPTIMIZATIONS),
+        suites=pick(SUITES),
+        names=pick(NAMES),
+        best_only=rng.random() < 0.5,
+    )
+
+
+def assert_identical_results(indexed, linear):
+    assert len(indexed) == len(linear)
+    for got, expected in zip(indexed, linear):
+        assert got is expected  # same objects, same order
+
+
+class TestDifferential:
+    def test_indexed_query_matches_linear(self, tmp_path, rng):
+        db = BenchmarkDatabase(tmp_path)
+        db._records.extend(random_records(rng, 120))
+        for _ in range(200):
+            selection = random_selection(rng)
+            assert_identical_results(db.query(selection), db._query_linear(selection))
+
+    def test_incremental_add_matches_rebuild(self, tmp_path, rng):
+        records = random_records(rng, 80)
+        db = BenchmarkDatabase(tmp_path)
+        db.query(Selection.make())  # materialise the (empty) index
+        for record in records:
+            db._remember(record)
+        assert db._facets is not None
+        assert db._facets.num_records == len(records)
+        rebuilt = FacetIndex.build(records)
+        assert db._facets.bitmaps == rebuilt.bitmaps
+        for _ in range(100):
+            selection = random_selection(rng)
+            assert_identical_results(db.query(selection), db._query_linear(selection))
+
+    def test_external_mutation_triggers_rebuild(self, tmp_path, rng):
+        db = BenchmarkDatabase(tmp_path)
+        db._records.extend(random_records(rng, 20))
+        db.query(Selection.make())
+        db._records.extend(random_records(rng, 20))  # behind the index's back
+        for _ in range(50):
+            selection = random_selection(rng)
+            assert_identical_results(db.query(selection), db._query_linear(selection))
+
+    def test_best_only_tie_keeps_first_record(self, tmp_path):
+        db = BenchmarkDatabase(tmp_path)
+        common = dict(
+            suite="t",
+            name="f",
+            abstraction_level=AbstractionLevel.GATE_LEVEL,
+            gate_library="QCA ONE",
+            clocking_scheme="2DDWave",
+            algorithm="exact",
+            width=5,
+            height=1,
+            area=5,
+        )
+        first = BenchmarkFile(path="t/a.fgl", **common)
+        second = BenchmarkFile(path="t/b.fgl", **common)
+        db._records.extend([first, second])
+        best = db.query(Selection.make(best_only=True))
+        assert len(best) == 1
+        assert best[0] is first
+        assert db._query_linear(Selection.make(best_only=True))[0] is first
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        records = random_records(rng, 60)
+        index = FacetIndex.build(records)
+        index.save(tmp_path, records_digest(records))
+        loaded = FacetIndex.load(tmp_path, records)
+        assert loaded is not None
+        assert loaded.bitmaps == index.bitmaps
+        for _ in range(50):
+            selection = random_selection(rng)
+            assert loaded.query_bitmap(selection) == index.query_bitmap(selection)
+
+    def test_missing_sidecar_returns_none(self, tmp_path):
+        assert FacetIndex.load(tmp_path, []) is None
+
+    def test_stale_record_count_rejected(self, tmp_path, rng):
+        records = random_records(rng, 10)
+        FacetIndex.build(records).save(tmp_path, records_digest(records))
+        assert FacetIndex.load(tmp_path, records[:-1]) is None
+
+    def test_stale_digest_rejected(self, tmp_path, rng):
+        records = random_records(rng, 10)
+        FacetIndex.build(records).save(tmp_path, records_digest(records))
+        changed = list(records)
+        changed[0] = BenchmarkFile(
+            suite="other",
+            name="other",
+            abstraction_level=AbstractionLevel.NETWORK,
+            path="other/other.v",
+        )
+        assert FacetIndex.load(tmp_path, changed) is None
+
+    def test_wrong_version_rejected(self, tmp_path, rng):
+        records = random_records(rng, 10)
+        index = FacetIndex.build(records)
+        data = index.to_json(records_digest(records))
+        data["version"] = 999
+        (tmp_path / FACETS_NAME).write_text(json.dumps(data), encoding="utf-8")
+        assert FacetIndex.load(tmp_path, records) is None
+
+    def test_garbage_sidecar_rejected(self, tmp_path, rng):
+        records = random_records(rng, 10)
+        (tmp_path / FACETS_NAME).write_text("{definitely not json", encoding="utf-8")
+        assert FacetIndex.load(tmp_path, records) is None
+
+    def test_tampered_bitmaps_fail_coverage_check(self, tmp_path, rng):
+        records = random_records(rng, 10)
+        index = FacetIndex.build(records)
+        data = index.to_json(records_digest(records))
+        # Zero one suite's posting set: the suite facet no longer covers
+        # every record, which the structural check must catch.
+        suite = next(iter(data["bitmaps"]["suite"]))
+        data["bitmaps"]["suite"][suite] = "0x0"
+        (tmp_path / FACETS_NAME).write_text(json.dumps(data), encoding="utf-8")
+        assert FacetIndex.load(tmp_path, records) is None
+
+    def test_database_recovers_from_bad_sidecar(self, tmp_path, rng):
+        records = random_records(rng, 40)
+        db = BenchmarkDatabase(tmp_path)
+        db._records.extend(records)
+        db._save_index()
+        (tmp_path / FACETS_NAME).write_text("garbage", encoding="utf-8")
+        reloaded = BenchmarkDatabase(tmp_path)
+        assert reloaded._facets is None  # sidecar rejected at load
+        for _ in range(50):
+            selection = random_selection(rng)
+            assert [r.path for r in reloaded.query(selection)] == [
+                r.path for r in reloaded._query_linear(selection)
+            ]
+
+    def test_database_persists_and_reuses_sidecar(self, tmp_path, rng):
+        records = random_records(rng, 40)
+        db = BenchmarkDatabase(tmp_path)
+        db._records.extend(records)
+        db._save_index()
+        assert (tmp_path / FACETS_NAME).exists()
+        reloaded = BenchmarkDatabase(tmp_path)
+        assert reloaded._facets is not None  # served from the sidecar
+        for _ in range(50):
+            selection = random_selection(rng)
+            assert [r.path for r in reloaded.query(selection)] == [
+                r.path for r in reloaded._query_linear(selection)
+            ]

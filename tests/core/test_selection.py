@@ -1,5 +1,7 @@
 """Tests for the Figure 1 selection/filter model."""
 
+import pytest
+
 from repro.core.bench import BenchmarkFile
 from repro.core.selection import AbstractionLevel, Selection, facet_counts
 
@@ -72,6 +74,54 @@ class TestMatching:
         assert not sel.matches(gate_file())
         sel = Selection.make(names=["mux21"])
         assert sel.matches(gate_file())
+
+
+class TestFacetValidation:
+    """Unknown facet values must raise instead of silently matching
+    nothing (regression: ``Selection.make(clocking_schemes=["2ddwav"])``
+    used to return an empty result set without complaint)."""
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(ValueError, match="gate library.*'qca two'"):
+            Selection.make(gate_libraries=["QCA TWO"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="clocking scheme.*'2ddwav'"):
+            Selection.make(clocking_schemes=["2DDWav"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            Selection.make(algorithms=["simulated annealing"])
+
+    def test_unknown_optimization_rejected(self):
+        with pytest.raises(ValueError, match="optimization"):
+            Selection.make(optimizations=["plo2"])
+
+    def test_unknown_abstraction_level_rejected(self):
+        with pytest.raises(ValueError):
+            Selection.make(abstraction_levels="netlist")
+
+    def test_message_lists_expected_values(self):
+        with pytest.raises(ValueError, match="expected one of"):
+            Selection.make(clocking_schemes=["spiral"])
+
+    def test_canonical_values_accepted_any_case(self):
+        selection = Selection.make(
+            gate_libraries=["qca one", "BESTAGON"],
+            clocking_schemes=["2ddwave", "use", "res", "esr", "row"],
+            algorithms=["EXACT", "Ortho", "npr"],
+            optimizations=["plo", "inord (sdn)", "45°"],
+        )
+        assert "bestagon" in selection.gate_libraries
+
+    def test_contributed_algorithm_accepted(self):
+        selection = Selection.make(algorithms=["contributed"])
+        assert selection.algorithms == frozenset({"contributed"})
+
+    def test_suites_and_names_stay_free_form(self):
+        selection = Selection.make(suites=["MySuite"], names=["my_benchmark"])
+        assert selection.suites == frozenset({"mysuite"})
+        assert selection.names == frozenset({"my_benchmark"})
 
 
 class TestFacetCounts:

@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.io import FglError, fgl_to_layout, layout_to_fgl, read_fgl, write_fgl
+from repro.io import (
+    FglError,
+    fgl_to_layout,
+    layout_to_fgl,
+    layout_to_fgl_reference,
+    read_fgl,
+    write_fgl,
+)
 from repro.layout import GateLayout, OPEN, ROW, TWODDWAVE, Tile, Topology, check_layout
 from repro.networks import check_equivalence
 from repro.networks.generators import GeneratorSpec, generate_network
@@ -101,6 +108,61 @@ class TestRoundTrip:
         layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
         loaded = roundtrip(layout)
         assert check_equivalence(net, loaded.extract_network()).equivalent
+
+
+class TestStreamingWriterParity:
+    """The streaming writer is the serving hot path; the old minidom
+    writer is retained as ``layout_to_fgl_reference`` and every output
+    must match it byte-for-byte."""
+
+    @pytest.mark.parametrize(
+        "factory", [mux21, full_adder, lambda: ripple_carry_adder(2)]
+    )
+    def test_cartesian_golden(self, factory):
+        layout = orthogonal_layout(factory()).layout
+        assert layout_to_fgl(layout) == layout_to_fgl_reference(layout)
+
+    def test_hexagonal_golden(self):
+        layout = to_hexagonal(orthogonal_layout(full_adder()).layout).layout
+        assert layout_to_fgl(layout) == layout_to_fgl_reference(layout)
+
+    def test_empty_layout(self):
+        layout = GateLayout(2, 2, TWODDWAVE, name="empty")
+        assert layout_to_fgl(layout) == layout_to_fgl_reference(layout)
+
+    def test_escaped_names(self):
+        from repro.networks import GateType
+
+        layout = GateLayout(3, 1, TWODDWAVE, name='a&b<c>"d\'é')
+        a = layout.create_pi(Tile(0, 0), 'in<&>"x')
+        n = layout.create_gate(GateType.NOT, Tile(1, 0), [a])
+        layout.create_po(Tile(2, 0), n, "out&<>")
+        text = layout_to_fgl(layout)
+        assert text == layout_to_fgl_reference(layout)
+        restored = fgl_to_layout(text)
+        assert restored.name == layout.name
+
+    def test_open_scheme_zones_golden(self, and_layout):
+        layout, _ = and_layout
+        open_layout = GateLayout(3, 2, OPEN, name="and2")
+        for tile, _ in layout.tiles():
+            open_layout.assign_zone(tile, layout.zone(tile))
+        for tile in layout.topological_tiles():
+            gate = layout.get(tile)
+            if gate.is_pi:
+                open_layout.create_pi(tile, gate.name)
+            elif gate.is_po:
+                open_layout.create_po(tile, gate.fanins[0], gate.name)
+            else:
+                open_layout.create_gate(gate.gate_type, tile, gate.fanins, gate.name)
+        assert layout_to_fgl(open_layout) == layout_to_fgl_reference(open_layout)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=8, deadline=None)
+    def test_random_layout_golden(self, seed):
+        net = generate_network(GeneratorSpec("f", 5, 2, 25, seed=seed))
+        layout = orthogonal_layout(net, OrthoParams(compact=False)).layout
+        assert layout_to_fgl(layout) == layout_to_fgl_reference(layout)
 
 
 class TestErrors:
