@@ -1,0 +1,81 @@
+"""Columnar batch analytics over the packed benchmark database.
+
+The package decodes ``artifacts.pack`` slices directly into contiguous
+struct-of-arrays tables (:mod:`~repro.analytics.tables`), runs metrics,
+DRC and output-signature kernels over whole databases per call
+(:mod:`~repro.analytics.kernels`), and feeds the fleet consumers —
+rankings, Table I, re-verification, ``mnt-bench report``/``info``
+(:mod:`~repro.analytics.engine`, :mod:`~repro.analytics.report`).  The
+per-artifact object path is retained as the reference engine; the
+differential tests and ``benchmarks/bench_analytics.py`` prove both
+produce identical results.
+"""
+
+from .backend import (
+    BACKEND_NUMPY,
+    BACKEND_STDLIB,
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    HAS_NUMPY,
+    resolve_backend,
+)
+from .engine import (
+    ENGINE_COLUMNAR,
+    ENGINE_REFERENCE,
+    ENGINES,
+    VerificationRecord,
+    VerificationSummary,
+    analyze_texts,
+    best_database,
+    best_pairs,
+    database_info,
+    gate_level_records,
+    resolve_engine,
+    sweep_database,
+    verify_database,
+)
+from .kernels import (
+    DrcCounts,
+    LayoutAnalysis,
+    analyze_batch,
+    analyze_layout,
+    layout_drc,
+    layout_metrics,
+    layout_signature,
+)
+from .report import AggregateRow, AnalyticsReport, ReportRow, build_report
+from .tables import LayoutBatch
+
+__all__ = [
+    "AggregateRow",
+    "AnalyticsReport",
+    "BACKEND_NUMPY",
+    "BACKEND_STDLIB",
+    "DEFAULT_BACKEND",
+    "DrcCounts",
+    "ENGINE_COLUMNAR",
+    "ENGINE_REFERENCE",
+    "ENGINES",
+    "ENV_VAR",
+    "HAS_NUMPY",
+    "LayoutAnalysis",
+    "LayoutBatch",
+    "ReportRow",
+    "VerificationRecord",
+    "VerificationSummary",
+    "analyze_batch",
+    "analyze_layout",
+    "analyze_texts",
+    "best_database",
+    "best_pairs",
+    "build_report",
+    "database_info",
+    "gate_level_records",
+    "layout_drc",
+    "layout_metrics",
+    "layout_signature",
+    "resolve_backend",
+    "resolve_engine",
+    "sweep_database",
+    "verify_database",
+]

@@ -1,0 +1,535 @@
+"""Struct-of-arrays layout tables decoded straight from ``.fgl`` text.
+
+:class:`LayoutBatch` is the columnar counterpart of
+:class:`~repro.layout.gate_layout.GateLayout`: one flat table per
+column (tile coordinates, gate kinds, fanin endpoints, resolved fanin
+row indices) shared by *all* layouts of a batch, with per-layout offset
+ranges — the representation the batch kernels in
+:mod:`repro.analytics.kernels` sweep without materialising a single
+``GateLayout`` object.
+
+Decoding is a two-tier affair:
+
+* the **canonical scanner** recognises the exact byte stream
+  :func:`repro.io.fgl.layout_to_fgl` emits (fixed 4-space indentation,
+  one leaf per line) with a handful of compiled regexes and appends
+  rows directly into the column buffers;
+* anything else — foreign indentation, attribute forms, unexpected
+  element order — falls back to the full XML reader
+  (:func:`repro.io.fgl.fgl_to_layout`) and appends the resulting
+  object, so the batch accepts every file the reference path accepts
+  and rejects every file it rejects.
+
+Canonical files are written in serialisation order (PIs in interface
+order, a topological middle, POs in interface order), so the row order
+of a scanned layout normally *is* a valid topological order; the batch
+verifies rather than assumes this (``sorted_flags``), and the kernels
+run their own Kahn pass when the property does not hold.
+"""
+
+from __future__ import annotations
+
+import re
+from array import array
+
+from ..io.fgl import fgl_to_layout
+from ..layout.clocking import ClockingScheme, get_scheme
+from ..layout.coordinates import Topology
+from ..layout.gate_layout import GateLayout
+from ..networks.logic_network import GateType
+
+# ---------------------------------------------------------------------------
+# Gate-kind encoding
+# ---------------------------------------------------------------------------
+
+#: Fixed gate-kind order; a row's ``kind`` column holds an index into it.
+KIND_ORDER = (
+    GateType.PI,
+    GateType.PO,
+    GateType.BUF,
+    GateType.NOT,
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.MAJ,
+    GateType.MUX,
+    GateType.FANOUT,
+    GateType.CONST0,
+    GateType.CONST1,
+)
+
+KIND_PI = KIND_ORDER.index(GateType.PI)
+KIND_PO = KIND_ORDER.index(GateType.PO)
+KIND_BUF = KIND_ORDER.index(GateType.BUF)
+KIND_NOT = KIND_ORDER.index(GateType.NOT)
+KIND_AND = KIND_ORDER.index(GateType.AND)
+KIND_NAND = KIND_ORDER.index(GateType.NAND)
+KIND_OR = KIND_ORDER.index(GateType.OR)
+KIND_NOR = KIND_ORDER.index(GateType.NOR)
+KIND_XOR = KIND_ORDER.index(GateType.XOR)
+KIND_XNOR = KIND_ORDER.index(GateType.XNOR)
+KIND_MAJ = KIND_ORDER.index(GateType.MAJ)
+KIND_MUX = KIND_ORDER.index(GateType.MUX)
+KIND_FANOUT = KIND_ORDER.index(GateType.FANOUT)
+KIND_CONST0 = KIND_ORDER.index(GateType.CONST0)
+KIND_CONST1 = KIND_ORDER.index(GateType.CONST1)
+
+KIND_OF = {gate_type: index for index, gate_type in enumerate(KIND_ORDER)}
+
+#: Expected fanin count per kind (mirrors :attr:`GateType.arity`).
+KIND_ARITY = tuple(gate_type.arity for gate_type in KIND_ORDER)
+
+#: ``.fgl`` type tags (writer tags plus the reader's historical aliases).
+_TAG_TO_KIND = {
+    "PI": KIND_PI,
+    "PO": KIND_PO,
+    "BUF": KIND_BUF,
+    "INV": KIND_NOT,
+    "NOT": KIND_NOT,
+    "AND": KIND_AND,
+    "NAND": KIND_NAND,
+    "OR": KIND_OR,
+    "NOR": KIND_NOR,
+    "XOR": KIND_XOR,
+    "XNOR": KIND_XNOR,
+    "MAJ": KIND_MAJ,
+    "MUX": KIND_MUX,
+    "FANOUT": KIND_FANOUT,
+    "FO": KIND_FANOUT,
+    "CONST0": KIND_CONST0,
+    "CONST1": KIND_CONST1,
+}
+
+_TAG_TO_TOPOLOGY = {
+    "cartesian": Topology.CARTESIAN,
+    "hexagonal_even_row": Topology.HEXAGONAL_EVEN_ROW,
+}
+
+
+# ---------------------------------------------------------------------------
+# Canonical scanner
+# ---------------------------------------------------------------------------
+
+
+class _NotCanonical(Exception):
+    """Internal: the text is not the canonical writer's byte stream."""
+
+
+# The exact prologue layout_to_fgl emits.  Names were escaped with
+# _escape_text (&, <, ", > — no raw '<' or newline survives), so a
+# single-line negative character class captures them safely.
+_HEADER_RE = re.compile(
+    '<\\?xml version="1\\.0" \\?>\n'
+    "<fgl>\n"
+    "    <version>1\\.0</version>\n"
+    "    <layout>\n"
+    "        <name>([^<\n]*)</name>\n"
+    "        <topology>(cartesian|hexagonal_even_row)</topology>\n"
+    "        <size>\n"
+    "            <x>(\\d+)</x>\n"
+    "            <y>(\\d+)</y>\n"
+    "            <z>1</z>\n"
+    "        </size>\n"
+    "        <clocking>\n"
+    "            <name>([^<\n]*)</name>\n"
+)
+
+_ZONE_RE = re.compile(
+    "                <zone>\n"
+    "                    <x>(\\d+)</x>\n"
+    "                    <y>(\\d+)</y>\n"
+    "                    <clock>(\\d+)</clock>\n"
+    "                </zone>\n"
+)
+
+_CLOCKING_CLOSE = "        </clocking>\n    </layout>\n"
+_ZONES_OPEN = "            <zones>\n"
+_ZONES_CLOSE = "            </zones>\n"
+_ZONES_EMPTY = "            <zones/>\n"
+_GATES_EMPTY = "    <gates/>\n</fgl>\n"
+_GATES_OPEN = "    <gates>\n"
+_GATES_CLOSE = "    </gates>\n</fgl>\n"
+
+_GATE_RE = re.compile(
+    "        <gate>\n"
+    "            <id>(\\d+)</id>\n"
+    "            <type>([A-Z0-9]+)</type>\n"
+    "(?:            <name>([^<\n]*)</name>\n)?"
+    "            <loc>\n"
+    "                <x>(\\d+)</x>\n"
+    "                <y>(\\d+)</y>\n"
+    "                <z>(\\d+)</z>\n"
+    "            </loc>\n"
+    "(?:            <incoming>\n"
+    "((?:                <signal>\n"
+    "                    <x>\\d+</x>\n"
+    "                    <y>\\d+</y>\n"
+    "                    <z>\\d+</z>\n"
+    "                </signal>\n"
+    ")+)"
+    "            </incoming>\n"
+    ")?"
+    "        </gate>\n"
+)
+
+_SIGNAL_RE = re.compile(
+    "                <signal>\n"
+    "                    <x>(\\d+)</x>\n"
+    "                    <y>(\\d+)</y>\n"
+    "                    <z>(\\d+)</z>\n"
+    "                </signal>\n"
+)
+
+
+def _unescape(text: str) -> str:
+    """Invert ``repro.io.fgl._escape_text`` (only when entities occur)."""
+    if "&" not in text:
+        return text
+    return (
+        text.replace("&quot;", '"')
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
+    )
+
+
+def _tile_key(x: int, y: int, z: int) -> int:
+    """Pack a (non-negative) tile coordinate into one int dict key."""
+    return (x << 21) | (y << 1) | z
+
+
+# ---------------------------------------------------------------------------
+# The batch itself
+# ---------------------------------------------------------------------------
+
+
+class LayoutBatch:
+    """Columnar (struct-of-arrays) view of a set of gate-level layouts.
+
+    Per-layout columns (index ``i`` ∈ ``range(num_layouts)``):
+
+    ``names[i]``, ``widths[i]``/``heights[i]`` (declared grid size),
+    ``topologies[i]`` (0 cartesian / 1 hexagonal), ``scheme_names[i]``,
+    ``schemes[i]`` (resolved :class:`ClockingScheme`), ``num_phases[i]``,
+    ``explicit_zones[i]`` (``{(x, y): clock}`` for irregular schemes,
+    else ``None``), ``gate_start[i] : gate_start[i + 1]`` (row range),
+    ``sorted_flags[i]`` (rows already topologically ordered) and
+    ``dangling_flags[i]`` (some fanin references an empty tile).
+
+    Per-row columns (global row index ``r``): ``gx``/``gy``/``gz``
+    (tile coordinate), ``kind`` (index into :data:`KIND_ORDER`),
+    ``gate_names[r]``, ``ground_occupied[r]`` (the ``z == 0`` tile under
+    this row is occupied) and ``fanin_start[r] : fanin_start[r + 1]``
+    (fanin range).
+
+    Per-fanin columns (global fanin index ``j``): ``fx``/``fy``/``fz``
+    (endpoint coordinate) and ``fanin_row[j]`` (global row index of the
+    occupied endpoint, ``-1`` when the endpoint tile is empty).
+
+    Within a layout, PI rows appear in PI interface order and PO rows in
+    PO interface order — the property the signature kernel relies on —
+    because both the canonical writer and the object fallback serialise
+    the interface that way.
+    """
+
+    __slots__ = (
+        "names",
+        "scheme_names",
+        "schemes",
+        "topologies",
+        "widths",
+        "heights",
+        "num_phases",
+        "explicit_zones",
+        "gate_start",
+        "sorted_flags",
+        "dangling_flags",
+        "gx",
+        "gy",
+        "gz",
+        "kind",
+        "gate_names",
+        "ground_occupied",
+        "fanin_start",
+        "fx",
+        "fy",
+        "fz",
+        "fanin_row",
+        "fallback_decodes",
+    )
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.scheme_names: list[str] = []
+        self.schemes: list[ClockingScheme] = []
+        self.topologies = array("b")
+        self.widths = array("i")
+        self.heights = array("i")
+        self.num_phases = array("i")
+        self.explicit_zones: list[dict[tuple[int, int], int] | None] = []
+        self.gate_start = array("i", [0])
+        self.sorted_flags = array("b")
+        self.dangling_flags = array("b")
+        self.gx = array("i")
+        self.gy = array("i")
+        self.gz = array("i")
+        self.kind = array("b")
+        self.gate_names: list[str | None] = []
+        self.ground_occupied = array("b")
+        self.fanin_start = array("i", [0])
+        self.fx = array("i")
+        self.fy = array("i")
+        self.fz = array("i")
+        self.fanin_row = array("i")
+        #: How many texts missed the canonical fast path (diagnostics).
+        self.fallback_decodes = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_texts(cls, texts) -> "LayoutBatch":
+        """Decode an iterable of ``.fgl`` payloads into one batch."""
+        batch = cls()
+        for text in texts:
+            batch.append_text(text)
+        return batch
+
+    @classmethod
+    def from_layouts(cls, layouts) -> "LayoutBatch":
+        """Build a batch from already-parsed :class:`GateLayout` objects."""
+        batch = cls()
+        for layout in layouts:
+            batch.append_layout(layout)
+        return batch
+
+    def append_text(self, text: str) -> int:
+        """Decode one ``.fgl`` payload; returns its layout index.
+
+        Raises the same :class:`~repro.io.fgl.FglError` the reference
+        reader raises for undecodable payloads.
+        """
+        try:
+            return self._scan_canonical(text)
+        except _NotCanonical:
+            self.fallback_decodes += 1
+            return self.append_layout(fgl_to_layout(text))
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def num_layouts(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.gx)
+
+    def rows(self, index: int) -> tuple[int, int]:
+        """Global row range ``[r0, r1)`` of layout ``index``."""
+        return self.gate_start[index], self.gate_start[index + 1]
+
+    def fanins(self, row: int) -> tuple[int, int]:
+        """Global fanin range ``[f0, f1)`` of row ``row``."""
+        return self.fanin_start[row], self.fanin_start[row + 1]
+
+    # -- canonical scanner --------------------------------------------------
+
+    def _scan_canonical(self, text: str) -> int:
+        header = _HEADER_RE.match(text)
+        if header is None:
+            raise _NotCanonical
+        name, topology_tag, width, height, scheme_name = header.groups()
+        scheme_name = _unescape(scheme_name)
+        try:
+            scheme = get_scheme(scheme_name)
+        except (ValueError, KeyError):
+            raise _NotCanonical from None
+
+        pos = header.end()
+        zones: dict[tuple[int, int], int] | None = None
+        if not scheme.regular:
+            zones = {}
+            if text.startswith(_ZONES_EMPTY, pos):
+                pos += len(_ZONES_EMPTY)
+            elif text.startswith(_ZONES_OPEN, pos):
+                pos += len(_ZONES_OPEN)
+                while True:
+                    zone = _ZONE_RE.match(text, pos)
+                    if zone is None:
+                        break
+                    zones[(int(zone.group(1)), int(zone.group(2)))] = int(
+                        zone.group(3)
+                    )
+                    pos = zone.end()
+                if not zones or not text.startswith(_ZONES_CLOSE, pos):
+                    raise _NotCanonical
+                pos += len(_ZONES_CLOSE)
+            else:
+                raise _NotCanonical
+        if not text.startswith(_CLOCKING_CLOSE, pos):
+            raise _NotCanonical
+        pos += len(_CLOCKING_CLOSE)
+
+        # Gate rows mutate the shared columns; any rejection from here
+        # on must roll the columns back before falling back.
+        row_mark = len(self.gx)
+        fanin_mark = len(self.fx)
+        try:
+            if text.startswith(_GATES_EMPTY, pos):
+                if pos + len(_GATES_EMPTY) != len(text):
+                    raise _NotCanonical
+            else:
+                if not text.startswith(_GATES_OPEN, pos):
+                    raise _NotCanonical
+                pos = self._scan_gates(text, pos + len(_GATES_OPEN))
+                if not text.startswith(_GATES_CLOSE, pos):
+                    raise _NotCanonical
+                if pos + len(_GATES_CLOSE) != len(text):
+                    raise _NotCanonical
+            sorted_flag, dangling_flag = self._resolve_rows(row_mark, len(self.gx))
+        except _NotCanonical:
+            del self.gx[row_mark:], self.gy[row_mark:], self.gz[row_mark:]
+            del self.kind[row_mark:], self.gate_names[row_mark:]
+            del self.fanin_start[row_mark + 1 :]
+            del self.fx[fanin_mark:], self.fy[fanin_mark:], self.fz[fanin_mark:]
+            raise
+
+        index = len(self.names)
+        self.names.append(_unescape(name))
+        self.scheme_names.append(scheme_name)
+        self.schemes.append(scheme)
+        self.topologies.append(
+            0 if _TAG_TO_TOPOLOGY[topology_tag] is Topology.CARTESIAN else 1
+        )
+        self.widths.append(int(width))
+        self.heights.append(int(height))
+        self.num_phases.append(scheme.num_phases)
+        self.explicit_zones.append(zones)
+        self.gate_start.append(len(self.gx))
+        self.sorted_flags.append(sorted_flag)
+        self.dangling_flags.append(dangling_flag)
+        return index
+
+    def _scan_gates(self, text: str, pos: int) -> int:
+        """Append gate rows scanned from ``text``; returns the end offset."""
+        gx, gy, gz = self.gx, self.gy, self.gz
+        kinds, gate_names = self.kind, self.gate_names
+        fanin_start = self.fanin_start
+        fx, fy, fz = self.fx, self.fy, self.fz
+        tag_to_kind = _TAG_TO_KIND
+        gate_match = _GATE_RE.match
+        signal_findall = _SIGNAL_RE.findall
+        local = 0
+        while True:
+            gate = gate_match(text, pos)
+            if gate is None:
+                return pos
+            gate_id, tag, name, x, y, z, incoming = gate.groups()
+            # The writer numbers gates sequentially in file order.
+            if int(gate_id) != local:
+                raise _NotCanonical
+            kind = tag_to_kind.get(tag)
+            if kind is None:
+                raise _NotCanonical
+            gx.append(int(x))
+            gy.append(int(y))
+            gz.append(int(z))
+            kinds.append(kind)
+            gate_names.append(_unescape(name) if name else None)
+            if incoming is not None:
+                for sx, sy, sz in signal_findall(incoming):
+                    fx.append(int(sx))
+                    fy.append(int(sy))
+                    fz.append(int(sz))
+            fanin_start.append(len(fx))
+            local += 1
+            pos = gate.end()
+
+    # -- object fallback ----------------------------------------------------
+
+    def append_layout(self, layout: GateLayout) -> int:
+        """Append an already-parsed layout (the non-canonical path)."""
+        pi_or_po = set(layout.pis()) | set(layout.pos())
+        middle = sorted(
+            (tile for tile, _ in layout.tiles() if tile not in pi_or_po),
+            key=lambda t: (t.y, t.x, t.z),
+        )
+        for tile in layout.pis() + middle + layout.pos():
+            gate = layout.get(tile)
+            self.gx.append(tile.x)
+            self.gy.append(tile.y)
+            self.gz.append(tile.z)
+            self.kind.append(KIND_OF[gate.gate_type])
+            self.gate_names.append(gate.name or None)
+            for fanin in gate.fanins:
+                self.fx.append(fanin.x)
+                self.fy.append(fanin.y)
+                self.fz.append(fanin.z)
+            self.fanin_start.append(len(self.fx))
+        row_mark = self.gate_start[len(self.names)]
+        sorted_flag, dangling_flag = self._resolve_rows(row_mark, len(self.gx))
+
+        index = len(self.names)
+        scheme = layout.scheme
+        zones = None
+        if not scheme.regular:
+            zones = {
+                (tile.x, tile.y): layout.zone(tile)
+                for tile, _ in layout.tiles()
+                if tile.z == 0
+            }
+        self.names.append(layout.name or "layout")
+        self.scheme_names.append(scheme.name)
+        self.schemes.append(scheme)
+        self.topologies.append(0 if layout.topology is Topology.CARTESIAN else 1)
+        self.widths.append(layout.width)
+        self.heights.append(layout.height)
+        self.num_phases.append(scheme.num_phases)
+        self.explicit_zones.append(zones)
+        self.gate_start.append(len(self.gx))
+        self.sorted_flags.append(sorted_flag)
+        self.dangling_flags.append(dangling_flag)
+        return index
+
+    # -- fanin resolution ---------------------------------------------------
+
+    def _resolve_rows(self, r0: int, r1: int) -> tuple[int, int]:
+        """Resolve fanin endpoints of rows ``[r0, r1)`` to row indices.
+
+        Appends ``ground_occupied`` and ``fanin_row`` entries and returns
+        the ``(sorted, dangling)`` flag pair.  Duplicate tile occupancy
+        cannot come out of a real layout, so it demotes the text to the
+        strict fallback reader (which reports it as a proper error).
+        """
+        gx, gy, gz = self.gx, self.gy, self.gz
+        position_to_row: dict[int, int] = {}
+        for row in range(r0, r1):
+            key = _tile_key(gx[row], gy[row], gz[row])
+            if key in position_to_row:
+                raise _NotCanonical
+            position_to_row[key] = row
+
+        fanin_row = self.fanin_row
+        ground = self.ground_occupied
+        fx, fy, fz = self.fx, self.fy, self.fz
+        fanin_start = self.fanin_start
+        is_sorted = 1
+        dangling = 0
+        for row in range(r0, r1):
+            if gz[row] == 0:
+                ground.append(1)
+            else:
+                ground.append(
+                    1 if _tile_key(gx[row], gy[row], 0) in position_to_row else 0
+                )
+            for j in range(fanin_start[row], fanin_start[row + 1]):
+                resolved = position_to_row.get(_tile_key(fx[j], fy[j], fz[j]), -1)
+                fanin_row.append(resolved)
+                if resolved < 0:
+                    dangling = 1
+                elif resolved >= row:
+                    is_sorted = 0
+        return is_sorted, dangling

@@ -9,6 +9,12 @@ equivalent of the hosted website:
   optionally as machine-readable JSON (``--json``);
 * ``mnt-bench pack`` — migrate loose ``.fgl`` artifacts into the
   compressed binary pack store;
+* ``mnt-bench report`` — Table-I / Figure-1 aggregates over the whole
+  database from one columnar sweep (markdown, CSV or JSON);
+* ``mnt-bench info`` — database statistics: record counts, pack
+  geometry and compression ratio, facet-index freshness, fleet totals;
+* ``mnt-bench verify`` — re-verify every stored artifact (DRC + output
+  signature against its Verilog specification) in one batch job;
 * ``mnt-bench best`` — run the portfolio for one function and print the
   paper-style table row;
 * ``mnt-bench show`` — render an ``.fgl`` file as ASCII art;
@@ -140,6 +146,8 @@ def _cmd_query(args) -> int:
             "count": len(hits),
             "files": [record.to_json() for record in hits],
         }
+        if db.facet_degraded:
+            payload["facet_index"] = db.facet_sidecar_status()
         if args.facets:
             payload["facets"] = facet_counts(db.files())
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -169,6 +177,83 @@ def _cmd_pack(args) -> int:
         f"{stats['uncompressed_bytes']} bytes raw"
     )
     return 0
+
+
+def _selection_from_filters(args) -> Selection | None:
+    suites = list(args.suite or [])
+    names = []
+    for token in args.benchmark or []:
+        suite, _, name = token.partition("/")
+        suites.append(suite)
+        names.append(name)
+    if not (suites or names or args.library):
+        return None
+    return Selection.make(
+        suites=suites, names=names, gate_libraries=args.library or ()
+    )
+
+
+def _cmd_report(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    report = db.report(
+        _selection_from_filters(args), engine=args.engine, backend=args.backend
+    )
+    text = report.render(args.format)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report ({args.format}) written to {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    info = db.info(backend=args.backend)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"database: {info['root']}")
+    print(f"records:  {info['records']}", end="")
+    levels = ", ".join(f"{k}={v}" for k, v in info["records_by_level"].items())
+    print(f" ({levels})" if levels else "")
+    print(
+        f"pack:     {info['packed_artifacts']}/{info['gate_level_artifacts']} "
+        f"gate-level artifact(s) packed, {info['loose_artifacts']} loose"
+    )
+    ratio = info["compression_ratio"]
+    print(
+        f"          {info['pack_bytes']} bytes compressed / "
+        f"{info['uncompressed_bytes']} raw"
+        + (f" ({ratio:.2f}x)" if ratio else "")
+    )
+    facet = info["facet_index"]
+    print(
+        f"facets:   {facet['status']}"
+        + (" [degraded — queries rebuild in memory]" if facet["degraded"] else "")
+    )
+    totals = info["layout_totals"]
+    print(
+        f"layouts:  {totals['gates']} gates, {totals['wires']} wires, "
+        f"{totals['crossings']} crossings, {totals['area']} tiles total "
+        f"[{info['backend']} backend, {info['fallback_decodes']} fallback decode(s)]"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    db = BenchmarkDatabase(args.database)
+    summary = db.verify_all(
+        _selection_from_filters(args), engine=args.engine, backend=args.backend
+    )
+    for record in summary.records:
+        if record.status != "ok" or args.verbose:
+            print(
+                f"{record.status:<14s} {record.path} "
+                f"({record.violations} violation(s), {record.warnings} warning(s))"
+            )
+    print(summary.summary())
+    return 0 if summary.ok else 1
 
 
 def _cmd_best(args) -> int:
@@ -318,6 +403,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack.add_argument("--database", default="mnt_bench_db")
 
+    report = sub.add_parser(
+        "report", help="Table-I/Figure-1 aggregates from one columnar sweep"
+    )
+    report.add_argument("--database", default="mnt_bench_db")
+    report.add_argument("--suite", action="append")
+    report.add_argument("--benchmark", action="append", metavar="SUITE/NAME")
+    report.add_argument("--library", action="append")
+    report.add_argument(
+        "--format", default="markdown", choices=["markdown", "csv", "json"]
+    )
+    report.add_argument("--output", default=None, help="write to file instead of stdout")
+    report.add_argument(
+        "--engine", default=None, choices=["columnar", "reference"],
+        help="analytics engine (default: columnar)",
+    )
+    report.add_argument(
+        "--backend", default=None, choices=["auto", "numpy", "stdlib"],
+        help="columnar numeric backend (default: auto)",
+    )
+
+    info = sub.add_parser("info", help="database statistics")
+    info.add_argument("--database", default="mnt_bench_db")
+    info.add_argument("--json", action="store_true")
+    info.add_argument(
+        "--backend", default=None, choices=["auto", "numpy", "stdlib"]
+    )
+
+    verify = sub.add_parser(
+        "verify", help="re-verify every stored artifact (DRC + equivalence)"
+    )
+    verify.add_argument("--database", default="mnt_bench_db")
+    verify.add_argument("--suite", action="append")
+    verify.add_argument("--benchmark", action="append", metavar="SUITE/NAME")
+    verify.add_argument("--library", action="append")
+    verify.add_argument(
+        "--engine", default=None, choices=["columnar", "reference"]
+    )
+    verify.add_argument(
+        "--backend", default=None, choices=["auto", "numpy", "stdlib"]
+    )
+    verify.add_argument(
+        "--verbose", action="store_true", help="also print passing artifacts"
+    )
+
     best = sub.add_parser("best", help="run the portfolio for one function")
     best.add_argument("benchmark", metavar="SUITE/NAME")
     best.add_argument("--library", default="QCA ONE")
@@ -369,6 +498,9 @@ def main(argv=None) -> int:
         "optimize": _cmd_optimize,
         "query": _cmd_query,
         "pack": _cmd_pack,
+        "report": _cmd_report,
+        "info": _cmd_info,
+        "verify": _cmd_verify,
         "best": _cmd_best,
         "show": _cmd_show,
         "svg": _cmd_svg,

@@ -21,7 +21,13 @@ from .selection import (
     Selection,
     facet_counts,
 )
-from .table import TableRow, baseline_area, format_table, table_row
+from .table import (
+    TableRow,
+    baseline_area,
+    database_table_rows,
+    format_table,
+    table_row,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -50,6 +56,7 @@ __all__ = [
     "TableRow",
     "baseline_area",
     "best_layout",
+    "database_table_rows",
     "facet_counts",
     "format_table",
     "paper_entry",

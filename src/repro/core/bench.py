@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -555,6 +556,7 @@ class BenchmarkDatabase:
         self._records: list[BenchmarkFile] = []
         self._flow_cache: dict[str, dict] = {}
         self._facets: FacetIndex | None = None
+        self._facet_status = "missing"
         self.store = ArtifactStore(self.root, layout_cache_size=layout_cache_size)
         self._load_index()
 
@@ -570,8 +572,21 @@ class BenchmarkDatabase:
             self._records = [BenchmarkFile.from_json(r) for r in data.get("files", [])]
             self._flow_cache = data.get("flow_cache", {})
             # Stale or missing sidecars fall back to an in-memory build
-            # on the first query.
-            self._facets = FacetIndex.load(self.root, self._records)
+            # on the first query.  A missing sidecar is normal (fresh or
+            # legacy database); a present-but-unusable one means the
+            # acceleration the user persisted is silently gone, which is
+            # worth a warning.
+            self._facets, self._facet_status = FacetIndex.load_with_reason(
+                self.root, self._records
+            )
+            if self.facet_degraded:
+                warnings.warn(
+                    f"facet index sidecar at {self.root / 'facets.json'} is "
+                    f"{self._facet_status}; queries fall back to an "
+                    "in-memory rebuild (re-save the database to refresh it)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def _save_index(self) -> None:
         data = {"files": [r.to_json() for r in self._records]}
@@ -579,6 +594,7 @@ class BenchmarkDatabase:
             data["flow_cache"] = self._flow_cache
         self._index_path().write_text(json.dumps(data, indent=2), encoding="utf-8")
         self._facet_index().save(self.root, records_digest(self._records))
+        self._facet_status = "loaded"
         self.store.save()
 
     # -- queries -----------------------------------------------------------------
@@ -678,6 +694,56 @@ class BenchmarkDatabase:
             "missing": missing,
             **self.store.stats(),
         }
+
+    # -- facet-index observability ---------------------------------------------
+
+    @property
+    def facet_degraded(self) -> bool:
+        """Is a persisted facet sidecar present but unusable (stale,
+        corrupt, wrong version)?  Queries still work — they pay an
+        in-memory rebuild — but the persisted acceleration is gone."""
+        return self._facet_status not in ("loaded", "missing")
+
+    def facet_sidecar_status(self) -> dict:
+        """Facet-index freshness for ``mnt-bench info``/``query --json``."""
+        return {
+            "status": self._facet_status,
+            "degraded": self.facet_degraded,
+            "in_memory": self._facets is not None,
+        }
+
+    # -- batch analytics -------------------------------------------------------
+
+    def best(self, selection: Selection | None = None, engine=None, backend=None):
+        """Best (record, analysis) per (suite, function, gate library),
+        ranked on metrics *computed from the artifacts* by the analytics
+        engine — unlike ``query(best_only=True)``, which trusts the
+        recorded metadata."""
+        from ..analytics.engine import best_database
+
+        return best_database(self, selection, engine=engine, backend=backend)
+
+    def verify_all(
+        self, selection: Selection | None = None, engine=None, backend=None
+    ):
+        """Re-verify every gate-level artifact (DRC + output signature
+        against its Verilog specification) in one batch sweep."""
+        from ..analytics.engine import verify_database
+
+        return verify_database(self, selection, engine=engine, backend=backend)
+
+    def report(self, selection: Selection | None = None, engine=None, backend=None):
+        """The ``mnt-bench report`` payload: best layouts, Figure-1
+        aggregates and Table I renderings from one sweep."""
+        from ..analytics.report import build_report
+
+        return build_report(self, selection, engine=engine, backend=backend)
+
+    def info(self, backend=None) -> dict:
+        """Database statistics for ``mnt-bench info``."""
+        from ..analytics.engine import database_info
+
+        return database_info(self, backend=backend)
 
     # -- generation ----------------------------------------------------------------
 

@@ -251,17 +251,33 @@ class FacetIndex:
         """Load the persisted index, or ``None`` when the sidecar is
         missing, from another format version, or stale with respect to
         ``records`` — callers then rebuild from scratch."""
+        index, _ = cls.load_with_reason(root, records)
+        return index
+
+    @classmethod
+    def load_with_reason(cls, root, records) -> tuple["FacetIndex | None", str]:
+        """Like :meth:`load`, plus *why* loading failed.
+
+        Reasons: ``"loaded"`` (index usable), ``"missing"`` (no sidecar
+        — the expected state of a fresh database, not a degradation),
+        ``"version-mismatch"``, ``"stale"`` (record list changed behind
+        the sidecar's back) and ``"corrupt"`` (unparseable or internally
+        inconsistent).  Everything except ``"loaded"``/``"missing"``
+        means queries silently pay an in-memory rebuild — callers
+        surface that (``BenchmarkDatabase`` emits a ``RuntimeWarning``
+        and ``mnt-bench query --json`` carries a degradation note).
+        """
         path = Path(root) / FACETS_NAME
         if not path.exists():
-            return None
+            return None, "missing"
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             if data.get("version") != FACETS_VERSION:
-                return None
-            if data.get("num_records") != len(records):
-                return None
-            if data.get("records_digest") != records_digest(records):
-                return None
+                return None, "version-mismatch"
+            if data.get("num_records") != len(records) or data.get(
+                "records_digest"
+            ) != records_digest(records):
+                return None, "stale"
             bitmaps = {
                 facet: {
                     str(value): int(bitmap, 16)
@@ -270,7 +286,7 @@ class FacetIndex:
                 for facet in FACET_NAMES
             }
         except (ValueError, KeyError, TypeError, AttributeError):
-            return None
+            return None, "corrupt"
         all_mask = (1 << len(records)) - 1
         # Structural consistency: every record has exactly one suite and
         # one abstraction level, so those facets must cover the mask
@@ -283,7 +299,7 @@ class FacetIndex:
         for bitmap in bitmaps["abstraction_level"].values():
             level_cover |= bitmap
         if suite_cover != all_mask or level_cover != all_mask:
-            return None
+            return None, "corrupt"
         index = cls()
         index.num_records = len(records)
         index.all_mask = all_mask
@@ -292,4 +308,4 @@ class FacetIndex:
         # to rebuild from the records and are never persisted.
         for ordinal, record in enumerate(records):
             index._add_derived(record, ordinal)
-        return index
+        return index, "loaded"

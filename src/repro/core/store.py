@@ -191,6 +191,10 @@ class ArtifactStore:
         """Is ``relpath`` served from the pack (vs. loose fallback)?"""
         return relpath in self._entries
 
+    # ``contains`` predates the analytics layer; ``is_packed`` is the
+    # public spelling used by ``mnt-bench info``.
+    is_packed = contains
+
     def add_text(self, relpath: str, text: str) -> None:
         """Append one artifact payload to the pack and index it."""
         data = text.encode("utf-8")
@@ -234,6 +238,58 @@ class ArtifactStore:
         if loose.exists():
             return loose.read_text(encoding="utf-8")
         raise FileNotFoundError(f"artifact {relpath!r} neither packed nor on disk")
+
+    def read_texts(self, relpaths) -> list[str]:
+        """Batch artifact read: all requested payloads in one sweep.
+
+        This is the analytics layer's data plane.  Packed entries are
+        fetched in **offset order** with adjacent pack slices coalesced
+        into single ``pread`` calls, so a database-wide sweep touches
+        the pack file a handful of times instead of once per artifact.
+        Every slice is digest-verified exactly like :meth:`read_text`;
+        any corrupt, missing or unpacked entry falls back to the
+        single-artifact path (loose file included).  Result order
+        matches ``relpaths``.
+        """
+        relpaths = list(relpaths)
+        texts: list[str | None] = [None] * len(relpaths)
+        packed: list[tuple[int, int, int, dict]] = []  # (offset, length, slot, entry)
+        for slot, relpath in enumerate(relpaths):
+            entry = self._entries.get(relpath)
+            if entry is not None:
+                packed.append((entry["offset"], entry["length"], slot, entry))
+        packed.sort()
+        # Coalesce runs of back-to-back slices into one read each.
+        index = 0
+        while index < len(packed):
+            start_offset = packed[index][0]
+            end_offset = start_offset + packed[index][1]
+            run_end = index + 1
+            while run_end < len(packed) and packed[run_end][0] == end_offset:
+                end_offset += packed[run_end][1]
+                run_end += 1
+            try:
+                blob = self._read_pack(start_offset, end_offset - start_offset)
+            except OSError:
+                blob = b""
+            for offset, length, slot, entry in packed[index:run_end]:
+                piece = blob[offset - start_offset : offset - start_offset + length]
+                try:
+                    data = zlib.decompress(piece)
+                    if (
+                        len(data) == entry["size"]
+                        and hashlib.sha256(data).hexdigest() == entry["sha256"]
+                    ):
+                        texts[slot] = data.decode("utf-8")
+                except (zlib.error, ValueError):
+                    pass
+            index = run_end
+        for slot, relpath in enumerate(relpaths):
+            if texts[slot] is None:
+                # Unpacked, corrupt, or short read: the single-artifact
+                # path handles fallback and entry invalidation.
+                texts[slot] = self.read_text(relpath)
+        return texts  # type: ignore[return-value]
 
     def load_layout(self, relpath: str) -> GateLayout:
         """Parse (or serve from the LRU) the layout stored at ``relpath``.

@@ -126,6 +126,59 @@ def table_row(
     return row, result
 
 
+def database_table_rows(
+    db,
+    library: str = QCA_ONE,
+    selection=None,
+    engine: str | None = None,
+    backend: str | None = None,
+    pairs=None,
+) -> list[TableRow]:
+    """Table I rows straight from a benchmark database.
+
+    Instead of re-running the portfolio (:func:`table_row`), the rows
+    tabulate the artifacts already in the database: one columnar (or
+    reference — the ``engine`` argument) sweep computes every metric,
+    the area-best artifact per function wins, and the interface counts
+    come from the decoded layouts themselves.  Both engines produce
+    byte-identical renderings; pass ``pairs`` to reuse an existing
+    :func:`repro.analytics.engine.sweep_database` result.
+    """
+    from ..analytics.engine import best_pairs, gate_level_records, sweep_database
+
+    if pairs is None:
+        records = gate_level_records(db, selection)
+        pairs = sweep_database(db, records, engine=engine, backend=backend)
+    rows = []
+    for record, analysis in best_pairs(pairs):
+        if (record.gate_library or "") != library:
+            continue
+        metrics = analysis.metrics
+        algorithm = ", ".join(
+            part for part in (record.algorithm or "", *record.optimizations) if part
+        )
+        rows.append(
+            TableRow(
+                suite=record.suite,
+                name=record.name,
+                num_inputs=analysis.num_pis,
+                num_outputs=analysis.num_pos,
+                num_nodes=metrics.num_gates if metrics else 0,
+                reported_nodes=metrics.num_gates if metrics else 0,
+                library=library,
+                width=metrics.width if metrics else None,
+                height=metrics.height if metrics else None,
+                area=metrics.area if metrics else None,
+                runtime_seconds=record.runtime_seconds,
+                algorithm=algorithm or None,
+                scheme=record.clocking_scheme,
+                baseline_area=None,
+                paper=paper_entry(record.suite, record.name, library),
+            )
+        )
+    return rows
+
+
 def format_table(rows: list[TableRow], library: str) -> str:
     """Render rows in the paper's layout, grouped by suite."""
     lines = [

@@ -35,6 +35,33 @@ class LayoutMetrics:
         )
 
 
+def metrics_from_counts(
+    width: int,
+    height: int,
+    num_gates: int,
+    num_wires: int,
+    num_crossings: int,
+    critical_path: int,
+    throughput: int,
+) -> LayoutMetrics:
+    """Assemble a :class:`LayoutMetrics` from already-computed counts.
+
+    The single construction point shared by :func:`compute_metrics` and
+    the columnar kernels in :mod:`repro.analytics.kernels`, so the
+    derived ``area`` invariant (``width * height``) lives in one place.
+    """
+    return LayoutMetrics(
+        width=width,
+        height=height,
+        area=width * height,
+        num_gates=num_gates,
+        num_wires=num_wires,
+        num_crossings=num_crossings,
+        critical_path=critical_path,
+        throughput=throughput,
+    )
+
+
 def critical_path_length(layout: GateLayout) -> int:
     """Longest PI→PO path in tiles (including both endpoints)."""
     depth: dict = {}
@@ -81,10 +108,9 @@ def throughput(layout: GateLayout) -> int:
 def compute_metrics(layout: GateLayout) -> LayoutMetrics:
     """All metrics of a layout in one pass-friendly record."""
     width, height = layout.bounding_box()
-    return LayoutMetrics(
+    return metrics_from_counts(
         width=width,
         height=height,
-        area=width * height,
         num_gates=layout.num_gates(),
         num_wires=layout.num_wires(),
         num_crossings=layout.num_crossings(),

@@ -14,6 +14,7 @@ code, and the corpus replay tests in ``tests/qa``.
 """
 
 from .config import (
+    DIFF_ANALYTICS,
     DIFF_ENGINES,
     DIFF_EXACT,
     DIFF_PLO,
@@ -33,6 +34,7 @@ from .netjson import network_from_json, network_to_json
 from .oracles import (
     ORACLE_NAMES,
     OracleFailure,
+    check_analytics_agreement,
     check_engine_agreement,
     check_exact_baseline,
     check_plo_agreement,
@@ -44,6 +46,7 @@ from .triage import KNOWN_ISSUES, KnownIssue, triage
 __all__ = [
     "CrashCase",
     "CrashCorpus",
+    "DIFF_ANALYTICS",
     "DIFF_ENGINES",
     "DIFF_EXACT",
     "DIFF_PLO",
@@ -63,6 +66,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ShrinkResult",
     "WIRE_REDUCTION",
+    "check_analytics_agreement",
     "check_engine_agreement",
     "check_exact_baseline",
     "check_plo_agreement",

@@ -46,6 +46,7 @@ EXACT_SCHEMES = ("2DDWave", "USE", "RES", "ESR", "ROW")
 DIFF_ENGINES = "engines"  # fast vs. reference A* routing engine
 DIFF_EXACT = "exact-baseline"  # optimized vs. baseline exact search
 DIFF_PLO = "optimization"  # incremental vs. reference post-layout optimization
+DIFF_ANALYTICS = "analytics"  # columnar vs. per-artifact metrics/DRC/signature
 
 
 class FlowSkipped(Exception):
@@ -232,6 +233,8 @@ def _sample_exact(rng: random.Random) -> FlowConfig:
     differential = None
     if rng.random() < 0.35:
         differential = DIFF_EXACT if rng.random() < 0.6 else DIFF_ENGINES
+    elif rng.random() < 0.25:
+        differential = DIFF_ANALYTICS
     optimizations: tuple[str, ...] = ()
     library = "Bestagon" if hexagonal else "QCA ONE"
     if not hexagonal and scheme == "2DDWave" and rng.random() < 0.25:
@@ -266,6 +269,8 @@ def _sample_2ddwave(rng: random.Random, algorithm: str) -> FlowConfig:
         differential = DIFF_PLO
     elif rng.random() < 0.3:
         differential = DIFF_ENGINES
+    elif rng.random() < 0.25:
+        differential = DIFF_ANALYTICS
     return FlowConfig(
         algorithm=algorithm,
         scheme="2DDWave",

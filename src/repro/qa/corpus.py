@@ -23,6 +23,7 @@ from .config import DIFF_ENGINES, DIFF_EXACT, FlowConfig, FlowSkipped
 from .netjson import network_from_json, network_to_json
 from .oracles import (
     OracleFailure,
+    check_analytics_agreement,
     check_engine_agreement,
     check_exact_baseline,
     run_oracle_stack,
@@ -102,6 +103,8 @@ def replay_case(case: CrashCase) -> OracleFailure | None:
             return check_engine_agreement(network, flow)
         if case.oracle == "exact_area":
             return check_exact_baseline(network, flow)
+        if case.oracle == "analytics_agreement":
+            return check_analytics_agreement(network, flow)
         layout = flow.run(network)
     except FlowSkipped as exc:
         return OracleFailure(case.oracle, f"flow no longer yields a layout: {exc}")

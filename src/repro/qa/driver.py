@@ -18,6 +18,7 @@ import random
 from ..networks.generators import GeneratorSpec, generate_network
 from ..networks.logic_network import LogicNetwork
 from .config import (
+    DIFF_ANALYTICS,
     DIFF_ENGINES,
     DIFF_EXACT,
     DIFF_PLO,
@@ -29,6 +30,7 @@ from .config import (
 from .corpus import CrashCase, CrashCorpus
 from .oracles import (
     OracleFailure,
+    check_analytics_agreement,
     check_engine_agreement,
     check_exact_baseline,
     check_plo_agreement,
@@ -138,6 +140,10 @@ def fuzz_one(
             failure = check_plo_agreement(network, flow)
             if failure is not None:
                 return flow, spec, network, failure, None
+        if flow.differential == DIFF_ANALYTICS:
+            failure = check_analytics_agreement(network, flow)
+            if failure is not None:
+                return flow, spec, network, failure, None
 
         layout = flow.run(network)
     except FlowSkipped as exc:
@@ -162,6 +168,8 @@ def _still_fails(flow: FlowConfig, oracle: str, num_vectors: int):
                 return check_exact_baseline(network, flow) is not None
             if oracle == "plo_agreement":
                 return check_plo_agreement(network, flow) is not None
+            if oracle == "analytics_agreement":
+                return check_analytics_agreement(network, flow) is not None
             layout = flow.run(network)
         except FlowSkipped:
             return False

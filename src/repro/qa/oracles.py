@@ -19,7 +19,11 @@ Each oracle inspects one invariant the benchmark database relies on:
   the minimal area (differential runs only);
 * ``plo_agreement`` — the incremental and reference post-layout
   optimization engines produce identical layouts with equal cost
-  tuples for the same flow (differential runs only).
+  tuples for the same flow (differential runs only);
+* ``analytics_agreement`` — the columnar batch-analytics kernels
+  (:mod:`repro.analytics`) report the same metrics, DRC verdict and
+  output signature as the per-artifact reference path for the layout
+  the flow produced (differential runs only).
 
 Oracles return ``None`` on success or a human-readable message on
 failure; the driver wraps messages into :class:`OracleFailure` records.
@@ -52,6 +56,7 @@ ORACLE_NAMES = (
     "engine_agreement",
     "exact_area",
     "plo_agreement",
+    "analytics_agreement",
 )
 
 
@@ -213,6 +218,44 @@ def check_exact_baseline(network: LogicNetwork, flow) -> OracleFailure | None:
             f"optimized search found area {optimized.area()}, "
             f"baseline found {baseline.area()}",
         )
+    return None
+
+
+def check_analytics_agreement(network: LogicNetwork, flow) -> OracleFailure | None:
+    """Columnar kernels must agree exactly with the per-artifact path.
+
+    Runs the flow once, serialises the layout to ``.fgl``, decodes it
+    into a :class:`repro.analytics.tables.LayoutBatch` and compares the
+    columnar metrics, DRC counts and output signature (DRC-clean layouts
+    only, mirroring ``verify_layout``) against ``compute_metrics`` /
+    ``check_layout`` / ``output_signature`` on the layout object — on
+    both numeric backends, which must also agree with each other.
+    """
+    from ..analytics import ENGINE_COLUMNAR, ENGINE_REFERENCE, analyze_texts
+    from ..analytics.backend import BACKEND_STDLIB, resolve_backend
+    from .config import FlowSkipped
+
+    try:
+        layout = replace(flow, differential=None).run(network)
+    except FlowSkipped:
+        return None
+    text = layout_to_fgl(layout)
+    reference = analyze_texts(
+        [text], engine=ENGINE_REFERENCE, with_signatures=True
+    )[0]
+    for backend in {resolve_backend(None), BACKEND_STDLIB}:
+        columnar = analyze_texts(
+            [text],
+            engine=ENGINE_COLUMNAR,
+            backend=backend,
+            with_signatures=True,
+        )[0]
+        if columnar != reference:
+            return OracleFailure(
+                "analytics_agreement",
+                f"columnar[{backend}] {columnar} != reference {reference} "
+                f"({flow.describe()})",
+            )
     return None
 
 

@@ -1,0 +1,72 @@
+"""Backend selection: env-var default, per-call override, bit-identity."""
+
+import warnings
+
+import pytest
+
+from repro.analytics.backend import (
+    BACKEND_NUMPY,
+    BACKEND_STDLIB,
+    ENV_VAR,
+    HAS_NUMPY,
+    _default_backend,
+    resolve_backend,
+)
+
+
+class TestDefaultBackend:
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        expected = BACKEND_NUMPY if HAS_NUMPY else BACKEND_STDLIB
+        assert _default_backend() == expected
+
+    def test_explicit_stdlib(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "stdlib")
+        assert _default_backend() == BACKEND_STDLIB
+
+    def test_invalid_value_warns_and_degrades(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "cupy")
+        with pytest.warns(RuntimeWarning, match="cupy"):
+            backend = _default_backend()
+        assert backend in (BACKEND_NUMPY, BACKEND_STDLIB)
+
+    def test_case_and_whitespace_insensitive(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "  STDLIB ")
+        assert _default_backend() == BACKEND_STDLIB
+
+
+class TestResolveBackend:
+    def test_none_and_auto_defer_to_default(self):
+        assert resolve_backend(None) == resolve_backend("auto")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown analytics backend"):
+            resolve_backend("torch")
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+    def test_explicit_numpy(self):
+        assert resolve_backend("numpy") == BACKEND_NUMPY
+
+    def test_stdlib_always_available(self):
+        assert resolve_backend("stdlib") == BACKEND_STDLIB
+
+
+class TestBitIdentity:
+    """The backend is a speed knob, never a semantics knob."""
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+    def test_backends_bit_identical_on_database(self, analytics_db):
+        from repro.analytics import analyze_texts
+
+        texts = analytics_db.store.read_texts(
+            [r.path for r in analytics_db.files() if r.path.endswith(".fgl")]
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            numpy_result = analyze_texts(
+                texts, backend="numpy", with_signatures=True
+            )
+            stdlib_result = analyze_texts(
+                texts, backend="stdlib", with_signatures=True
+            )
+        assert numpy_result == stdlib_result

@@ -1,0 +1,129 @@
+"""Facet-index sidecar degradation: warn, fall back, stay correct.
+
+When ``facets.json`` is stale or tampered with, the database must keep
+answering queries (in-memory rebuild), but the silent loss of the
+persisted acceleration is surfaced: a ``RuntimeWarning`` on load, a
+``facet_index`` note in ``mnt-bench query --json`` and a degraded flag
+in ``mnt-bench info``.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.core import BenchmarkDatabase, Selection
+from repro.core.bench import BenchmarkFile
+from repro.core.facet_index import FacetIndex
+from repro.core.selection import AbstractionLevel
+
+
+def _populate(root, names=("mux21", "xor2")):
+    db = BenchmarkDatabase(root)
+    for i, name in enumerate(names):
+        db._records.append(
+            BenchmarkFile(
+                suite="trindade16",
+                name=name,
+                abstraction_level=AbstractionLevel.GATE_LEVEL,
+                path=f"trindade16/{name}_ONE_2DDWave_ortho.fgl",
+                gate_library="QCA ONE",
+                clocking_scheme="2DDWave",
+                algorithm="ortho",
+                area=10 + i,
+            )
+        )
+    db._save_index()
+    return db
+
+
+class TestFreshSidecar:
+    def test_no_warning_when_loaded(self, tmp_path):
+        _populate(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            db = BenchmarkDatabase(tmp_path)
+        assert not db.facet_degraded
+        assert db.facet_sidecar_status()["status"] == "loaded"
+
+    def test_no_warning_when_missing(self, tmp_path):
+        _populate(tmp_path)
+        (tmp_path / "facets.json").unlink()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            db = BenchmarkDatabase(tmp_path)
+        assert not db.facet_degraded
+        assert db.facet_sidecar_status()["status"] == "missing"
+        # Queries still work via the in-memory rebuild.
+        assert len(db.query(Selection.make(algorithms=["ortho"]))) == 2
+
+
+class TestDegradedSidecar:
+    def _tamper(self, tmp_path, mutate):
+        _populate(tmp_path)
+        path = tmp_path / "facets.json"
+        data = json.loads(path.read_text())
+        mutate(data)
+        path.write_text(json.dumps(data))
+
+    def test_stale_sidecar_warns_and_falls_back(self, tmp_path):
+        self._tamper(
+            tmp_path, lambda data: data.update(records_digest="0" * 64)
+        )
+        with pytest.warns(RuntimeWarning, match="stale"):
+            db = BenchmarkDatabase(tmp_path)
+        assert db.facet_degraded
+        assert db.facet_sidecar_status()["status"] == "stale"
+        # The fallback rebuild answers queries identically.
+        hits = db.query(Selection.make(best_only=True))
+        assert [r.area for r in hits] == [10, 11]
+
+    def test_version_mismatch_warns(self, tmp_path):
+        self._tamper(tmp_path, lambda data: data.update(version=999))
+        with pytest.warns(RuntimeWarning, match="version-mismatch"):
+            db = BenchmarkDatabase(tmp_path)
+        assert db.facet_sidecar_status()["status"] == "version-mismatch"
+
+    def test_corrupt_sidecar_warns(self, tmp_path):
+        _populate(tmp_path)
+        (tmp_path / "facets.json").write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            db = BenchmarkDatabase(tmp_path)
+        assert db.facet_sidecar_status()["status"] == "corrupt"
+
+    def test_load_with_reason_reports_loaded(self, tmp_path):
+        db = _populate(tmp_path)
+        index, reason = FacetIndex.load_with_reason(tmp_path, db.files())
+        assert index is not None
+        assert reason == "loaded"
+
+    def test_query_json_carries_degradation_note(self, tmp_path, capsys):
+        self._tamper(
+            tmp_path, lambda data: data.update(records_digest="0" * 64)
+        )
+        with pytest.warns(RuntimeWarning):
+            code = main(["query", "--database", str(tmp_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert payload["facet_index"]["degraded"] is True
+        assert payload["facet_index"]["status"] == "stale"
+
+    def test_query_json_omits_note_when_healthy(self, tmp_path, capsys):
+        _populate(tmp_path)
+        assert main(["query", "--database", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "facet_index" not in payload
+
+    def test_resave_repairs_the_sidecar(self, tmp_path):
+        self._tamper(
+            tmp_path, lambda data: data.update(records_digest="0" * 64)
+        )
+        with pytest.warns(RuntimeWarning):
+            db = BenchmarkDatabase(tmp_path)
+        db._save_index()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            reloaded = BenchmarkDatabase(tmp_path)
+        assert not reloaded.facet_degraded
