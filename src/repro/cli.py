@@ -20,6 +20,8 @@ equivalent of the hosted website:
 * ``mnt-bench show`` — render an ``.fgl`` file as ASCII art;
 * ``mnt-bench svg`` — render an ``.fgl`` file as an SVG drawing;
 * ``mnt-bench profile`` — structural analysis of a benchmark network;
+* ``mnt-bench serve`` — host the database over HTTP (the paper's web
+  platform as a local service; see :mod:`repro.serve`);
 * ``mnt-bench fuzz`` — flow fuzzing / differential conformance harness
   (see :mod:`repro.qa`): random networks × random flows against the
   oracle stack, with automatic shrinking and a replayable crash corpus.
@@ -323,6 +325,21 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, serve
+
+    serve(
+        ServeConfig(
+            database=Path(args.database),
+            host=args.host,
+            port=args.port,
+            warm=args.warm,
+            check_interval=args.check_interval,
+        )
+    )
+    return 0
+
+
 def _cmd_profile(args) -> int:
     suite, _, name = args.benchmark.partition("/")
     spec = get_benchmark(suite, name)
@@ -464,6 +481,24 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("benchmark", metavar="SUITE/NAME")
     prof.add_argument("--node-cap", type=int, default=None)
 
+    srv = sub.add_parser(
+        "serve", help="serve the database over HTTP (the hosted-platform mode)"
+    )
+    srv.add_argument("--database", default="mnt_bench_db")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765)
+    srv.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-build the facet index and parsed-layout cache before binding",
+    )
+    srv.add_argument(
+        "--check-interval",
+        type=float,
+        default=1.0,
+        help="seconds between on-disk epoch checks (0 checks every request)",
+    )
+
     fuzz = sub.add_parser(
         "fuzz", help="fuzz the physical-design flows against the oracle stack"
     )
@@ -505,6 +540,7 @@ def main(argv=None) -> int:
         "show": _cmd_show,
         "svg": _cmd_svg,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
         "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)

@@ -10,7 +10,12 @@ from .bench import (
 )
 from .best import BESTAGON, QCA_ONE, BestParams, BestResult, FlowCandidate, best_layout
 from .facet_index import FacetIndex, records_digest
-from .store import DEFAULT_LAYOUT_CACHE_SIZE, ArtifactStore
+from .snapshot import DatabaseSnapshot, SnapshotManager, StoreView
+from .store import (
+    DEFAULT_LAYOUT_CACHE_SIZE,
+    ArtifactNotFoundError,
+    ArtifactStore,
+)
 from .paper_data import BESTAGON_TABLE, QCA_ONE_TABLE, PaperEntry, paper_entry
 from .selection import (
     ALGORITHMS,
@@ -32,7 +37,11 @@ from .table import (
 __all__ = [
     "ALGORITHMS",
     "AbstractionLevel",
+    "ArtifactNotFoundError",
     "ArtifactStore",
+    "DatabaseSnapshot",
+    "SnapshotManager",
+    "StoreView",
     "BESTAGON",
     "BESTAGON_TABLE",
     "DEFAULT_LAYOUT_CACHE_SIZE",

@@ -59,7 +59,11 @@ from ..physical_design.nanoplacer import (
 from ..physical_design.ortho import OrthoError, orthogonal_layout
 from .facet_index import FacetIndex, records_digest
 from .selection import AbstractionLevel, Selection
-from .store import DEFAULT_LAYOUT_CACHE_SIZE, ArtifactStore
+from .store import (
+    DEFAULT_LAYOUT_CACHE_SIZE,
+    ArtifactNotFoundError,
+    ArtifactStore,
+)
 
 #: Short library tags used in file names, like the upstream site.
 _LIBRARY_TAGS = {"QCA ONE": "ONE", "Bestagon": "Bestagon"}
@@ -661,10 +665,16 @@ class BenchmarkDatabase:
     def artifact_text(self, record: BenchmarkFile) -> str:
         """The canonical artifact payload (the download the website
         serves): pack-backed for gate-level records, loose file
-        otherwise."""
+        otherwise.  Raises
+        :class:`~repro.core.store.ArtifactNotFoundError` (naming the
+        artifact) when the payload exists nowhere — the serving layer
+        maps it to HTTP 404."""
         if record.abstraction_level is AbstractionLevel.GATE_LEVEL:
             return self.store.read_text(record.path)
-        return (self.root / record.path).read_text(encoding="utf-8")
+        loose = self.root / record.path
+        if not loose.exists():
+            raise ArtifactNotFoundError(record.path)
+        return loose.read_text(encoding="utf-8")
 
     def pack(self) -> dict:
         """Migrate loose gate-level artifacts into the pack file.
@@ -693,6 +703,54 @@ class BenchmarkDatabase:
             "already_packed": already,
             "missing": missing,
             **self.store.stats(),
+        }
+
+    # -- snapshots & warm-up ---------------------------------------------------
+
+    def snapshot(self):
+        """An immutable point-in-time view of the current in-memory
+        state (see :mod:`repro.core.snapshot`).
+
+        The returned :class:`~repro.core.snapshot.DatabaseSnapshot`
+        keeps answering queries and downloads identically no matter
+        what this database appends afterwards.  The facet index and
+        pack offset table are copied (bitmaps are immutable ints and
+        entry dicts are never mutated in place, so the copies are
+        cheap); the pack file descriptor and parsed-layout LRU are
+        shared, which is safe because the pack is append-only and the
+        LRU is keyed by content digest.
+        """
+        from .snapshot import make_snapshot
+
+        return make_snapshot(
+            self.root,
+            self.store,
+            epoch=0,
+            records=tuple(self._records),
+            facets=FacetIndex.build(self._records),
+            entries=self.store.entries_snapshot(),
+        )
+
+    def warm(self) -> dict:
+        """Pre-build the serving hot paths instead of paying them on
+        the first request: the facet index (otherwise built by the
+        first :meth:`query`) and the parsed-layout LRU (otherwise
+        populated per :meth:`load_layout` miss).  Returns counters;
+        ``mnt-bench serve --warm`` prints them."""
+        self._facet_index()
+        warmed = failed = 0
+        for record in self._records:
+            if record.abstraction_level is not AbstractionLevel.GATE_LEVEL:
+                continue
+            try:
+                self.store.load_layout(record.path)
+                warmed += 1
+            except (ArtifactNotFoundError, ValueError):
+                failed += 1
+        return {
+            "facet_index_ready": self._facets is not None,
+            "layouts_warmed": warmed,
+            "warm_failures": failed,
         }
 
     # -- facet-index observability ---------------------------------------------

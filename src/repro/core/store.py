@@ -60,6 +60,26 @@ _COMPRESSION_LEVEL = 6
 DEFAULT_LAYOUT_CACHE_SIZE = 128
 
 
+class ArtifactNotFoundError(KeyError, FileNotFoundError):
+    """A requested artifact exists in neither the pack nor on disk.
+
+    Typed so callers can distinguish "no such artifact" (a 404 for the
+    serving layer) from real I/O failures.  Subclasses both
+    :class:`KeyError` (lookup semantics) and :class:`FileNotFoundError`
+    (what older call sites caught), so pre-existing handlers keep
+    working.
+    """
+
+    def __init__(self, artifact_id: str) -> None:
+        super().__init__(
+            f"artifact {artifact_id!r} not found: neither packed nor on disk"
+        )
+        self.artifact_id = artifact_id
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
+
+
 class _LayoutCache:
     """Thread-safe bounded LRU: content digest → parsed layout."""
 
@@ -109,6 +129,10 @@ class ArtifactStore:
         self._lock = threading.Lock()
         self._pack_fd: int | None = None
         self._cache = _LayoutCache(layout_cache_size)
+        #: Content digests whose pack slice already passed verification —
+        #: lets :meth:`read_compressed` hand out raw slices without
+        #: re-hashing on every request (the zero-copy download path).
+        self._verified: set[str] = set()
         self._load_index()
 
     # -- paths ---------------------------------------------------------------
@@ -126,20 +150,36 @@ class ArtifactStore:
     def _load_index(self) -> None:
         """Load the offset table; any inconsistency degrades to an empty
         table (pure loose-file read-through) rather than an error."""
-        path = self.index_path
+        usable, total = self.load_entries(self.root)
+        self._entries = usable
+        self._dirty = len(usable) != total
+
+    @classmethod
+    def load_entries(cls, root) -> tuple[dict[str, dict], int]:
+        """Parse ``pack_index.json`` under ``root`` into a validated
+        offset table, plus the raw entry count before validation.
+
+        Shared by :meth:`_load_index` and the snapshot layer
+        (:mod:`repro.core.snapshot`), which re-reads the sidecar from
+        disk to pin a point-in-time view of the pack without touching a
+        live store's mutable table.  Any inconsistency (format version,
+        missing/foreign pack, truncated tail) yields an empty table.
+        """
+        root = Path(root)
+        path = root / PACK_INDEX_NAME
         if not path.exists():
-            return
+            return {}, 0
         try:
             data = json.loads(path.read_text(encoding="utf-8"))
             if data.get("version") != PACK_INDEX_VERSION:
-                return
+                return {}, 0
             entries = data.get("entries", {})
-            pack = self.pack_path
+            pack = root / PACK_NAME
             if not pack.exists():
-                return
+                return {}, 0
             with open(pack, "rb") as handle:
                 if handle.read(len(PACK_MAGIC)) != PACK_MAGIC:
-                    return
+                    return {}, 0
             pack_size = pack.stat().st_size
             usable: dict[str, dict] = {}
             for relpath, entry in entries.items():
@@ -153,10 +193,9 @@ class ArtifactStore:
                     "size": int(entry["size"]),
                     "sha256": str(entry["sha256"]),
                 }
-            self._entries = usable
-            self._dirty = len(usable) != len(entries)
+            return usable, len(entries)
         except (ValueError, KeyError, TypeError, OSError):
-            self._entries = {}
+            return {}, 0
 
     def save(self) -> None:
         """Persist the offset table if it changed since the last save."""
@@ -195,6 +234,11 @@ class ArtifactStore:
     # public spelling used by ``mnt-bench info``.
     is_packed = contains
 
+    def entry(self, relpath: str) -> dict | None:
+        """The pack-index entry for ``relpath`` (offset/length/size/
+        sha256), or ``None`` when the path is not packed."""
+        return self._entries.get(relpath)
+
     def add_text(self, relpath: str, text: str) -> None:
         """Append one artifact payload to the pack and index it."""
         data = text.encode("utf-8")
@@ -214,10 +258,18 @@ class ArtifactStore:
             }
             self._dirty = True
 
-    def read_text(self, relpath: str) -> str:
+    def read_text(self, relpath: str, entries: dict | None = None) -> str:
         """The canonical artifact text: pack slice when indexed and
-        intact, else the loose file."""
-        entry = self._entries.get(relpath)
+        intact, else the loose file.
+
+        ``entries`` overrides the live offset table with a frozen one —
+        the snapshot layer passes its pinned view so concurrent appends
+        (which only ever extend the pack) cannot move a reader's data
+        out from under it.  With a frozen view, corrupt slices are not
+        evicted from the live table (the snapshot owner is a reader).
+        """
+        frozen = entries is not None
+        entry = (entries if frozen else self._entries).get(relpath)
         if entry is not None:
             try:
                 blob = self._read_pack(entry["offset"], entry["length"])
@@ -231,15 +283,49 @@ class ArtifactStore:
                 pass
             # Corrupted or unreadable slice: drop the entry and recover
             # from the loose copy.
-            with self._lock:
-                self._entries.pop(relpath, None)
-                self._dirty = True
+            if not frozen:
+                with self._lock:
+                    self._entries.pop(relpath, None)
+                    self._dirty = True
         loose = self.root / relpath
         if loose.exists():
             return loose.read_text(encoding="utf-8")
-        raise FileNotFoundError(f"artifact {relpath!r} neither packed nor on disk")
+        raise ArtifactNotFoundError(relpath)
 
-    def read_texts(self, relpaths) -> list[str]:
+    def read_compressed(self, relpath: str, entries: dict | None = None) -> bytes | None:
+        """The raw zlib slice for ``relpath`` — the zero-copy download
+        path: one ``pread``, no decompression, no parsing.
+
+        The pack stores each payload as an RFC 1950 zlib stream, which
+        is exactly the ``deflate`` HTTP content coding, so the serving
+        layer can hand the slice bytes straight to a client that sent
+        ``Accept-Encoding: deflate``.  Integrity still holds: the first
+        serve of a given content digest decompresses and verifies the
+        slice; subsequent serves of the same digest skip the check.
+        Returns ``None`` when the path is unpacked or fails
+        verification (callers fall back to :meth:`read_text`).
+        """
+        entry = (entries if entries is not None else self._entries).get(relpath)
+        if entry is None:
+            return None
+        try:
+            blob = self._read_pack(entry["offset"], entry["length"])
+        except OSError:
+            return None
+        digest = entry["sha256"]
+        if digest in self._verified:
+            return blob
+        try:
+            data = zlib.decompress(blob)
+        except zlib.error:
+            return None
+        if len(data) != entry["size"] or hashlib.sha256(data).hexdigest() != digest:
+            return None
+        with self._lock:
+            self._verified.add(digest)
+        return blob
+
+    def read_texts(self, relpaths, entries: dict | None = None) -> list[str]:
         """Batch artifact read: all requested payloads in one sweep.
 
         This is the analytics layer's data plane.  Packed entries are
@@ -252,10 +338,11 @@ class ArtifactStore:
         matches ``relpaths``.
         """
         relpaths = list(relpaths)
+        table = entries if entries is not None else self._entries
         texts: list[str | None] = [None] * len(relpaths)
         packed: list[tuple[int, int, int, dict]] = []  # (offset, length, slot, entry)
         for slot, relpath in enumerate(relpaths):
-            entry = self._entries.get(relpath)
+            entry = table.get(relpath)
             if entry is not None:
                 packed.append((entry["offset"], entry["length"], slot, entry))
         packed.sort()
@@ -288,26 +375,48 @@ class ArtifactStore:
             if texts[slot] is None:
                 # Unpacked, corrupt, or short read: the single-artifact
                 # path handles fallback and entry invalidation.
-                texts[slot] = self.read_text(relpath)
+                texts[slot] = self.read_text(relpath, entries=entries)
         return texts  # type: ignore[return-value]
 
-    def load_layout(self, relpath: str) -> GateLayout:
+    def load_layout(self, relpath: str, entries: dict | None = None) -> GateLayout:
         """Parse (or serve from the LRU) the layout stored at ``relpath``.
 
         Returns a private clone; the cached instance is never exposed.
+        The LRU is keyed by content digest, so snapshot readers passing
+        a frozen ``entries`` view share it safely with the live store.
         """
-        entry = self._entries.get(relpath)
+        entry = (entries if entries is not None else self._entries).get(relpath)
         if entry is not None:
             cached = self._cache.get(entry["sha256"])
             if cached is not None:
                 return cached.clone()
-        text = self.read_text(relpath)
+        text = self.read_text(relpath, entries=entries)
         digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
         cached = self._cache.get(digest)
         if cached is None:
             cached = fgl_to_layout(text)
             self._cache.put(digest, cached)
         return cached.clone()
+
+    def entries_snapshot(self) -> dict[str, dict]:
+        """A frozen copy of the current offset table, for snapshot
+        pinning (entry dicts are never mutated in place, so a shallow
+        copy suffices)."""
+        with self._lock:
+            return dict(self._entries)
+
+    def adopt_entries(self, fresh: dict[str, dict]) -> None:
+        """Merge a freshly re-read offset table over the live one.
+
+        Used by the snapshot manager after a writer published new
+        sidecars: the union (old ∪ fresh, fresh wins) is swapped in as
+        one new dict so concurrent readers of the live table never see
+        a half-updated mapping.
+        """
+        with self._lock:
+            merged = dict(self._entries)
+            merged.update(fresh)
+            self._entries = merged
 
     # -- observability ---------------------------------------------------------
 

@@ -4,9 +4,9 @@ The standing correctness gate for the physical-design stack: a seeded
 fuzz driver samples random logic networks and random flow configurations,
 checks a fixed oracle stack on every produced layout (DRC, functional
 equivalence, serialisation round-trips, cell-level invariants, and
-fast-vs-reference routing, optimized-vs-baseline exact search, and
-incremental-vs-reference post-layout-optimization differential
-agreement),
+fast-vs-reference routing, optimized-vs-baseline exact search,
+incremental-vs-reference post-layout optimization, and
+HTTP-vs-in-process serving differential agreement),
 shrinks failing cases, and persists them to a replayable crash corpus.
 
 Entry points: ``mnt-bench fuzz`` on the command line, :func:`fuzz` from
@@ -18,6 +18,7 @@ from .config import (
     DIFF_ENGINES,
     DIFF_EXACT,
     DIFF_PLO,
+    DIFF_SERVE,
     EXACT_SCHEMES,
     HEXAGONALIZATION,
     INORD,
@@ -38,6 +39,7 @@ from .oracles import (
     check_engine_agreement,
     check_exact_baseline,
     check_plo_agreement,
+    check_serve_agreement,
     run_oracle_stack,
 )
 from .shrink import ShrinkResult, shrink_network
@@ -50,6 +52,7 @@ __all__ = [
     "DIFF_ENGINES",
     "DIFF_EXACT",
     "DIFF_PLO",
+    "DIFF_SERVE",
     "EXACT_SCHEMES",
     "FlowConfig",
     "FlowSkipped",
@@ -70,6 +73,7 @@ __all__ = [
     "check_engine_agreement",
     "check_exact_baseline",
     "check_plo_agreement",
+    "check_serve_agreement",
     "fuzz",
     "fuzz_one",
     "network_from_json",

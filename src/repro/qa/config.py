@@ -47,6 +47,7 @@ DIFF_ENGINES = "engines"  # fast vs. reference A* routing engine
 DIFF_EXACT = "exact-baseline"  # optimized vs. baseline exact search
 DIFF_PLO = "optimization"  # incremental vs. reference post-layout optimization
 DIFF_ANALYTICS = "analytics"  # columnar vs. per-artifact metrics/DRC/signature
+DIFF_SERVE = "serve"  # HTTP endpoints vs. in-process serving API
 
 
 class FlowSkipped(Exception):
@@ -233,8 +234,14 @@ def _sample_exact(rng: random.Random) -> FlowConfig:
     differential = None
     if rng.random() < 0.35:
         differential = DIFF_EXACT if rng.random() < 0.6 else DIFF_ENGINES
-    elif rng.random() < 0.25:
-        differential = DIFF_ANALYTICS
+    else:
+        # One shared roll keeps the draw count (and thus every seeded
+        # stream) identical to the pre-serve sampler.
+        roll = rng.random()
+        if roll < 0.25:
+            differential = DIFF_ANALYTICS
+        elif roll < 0.30:
+            differential = DIFF_SERVE
     optimizations: tuple[str, ...] = ()
     library = "Bestagon" if hexagonal else "QCA ONE"
     if not hexagonal and scheme == "2DDWave" and rng.random() < 0.25:
@@ -269,8 +276,13 @@ def _sample_2ddwave(rng: random.Random, algorithm: str) -> FlowConfig:
         differential = DIFF_PLO
     elif rng.random() < 0.3:
         differential = DIFF_ENGINES
-    elif rng.random() < 0.25:
-        differential = DIFF_ANALYTICS
+    else:
+        # Shared roll: same draw count as the pre-serve sampler.
+        roll = rng.random()
+        if roll < 0.25:
+            differential = DIFF_ANALYTICS
+        elif roll < 0.30:
+            differential = DIFF_SERVE
     return FlowConfig(
         algorithm=algorithm,
         scheme="2DDWave",

@@ -26,6 +26,7 @@ from .oracles import (
     check_analytics_agreement,
     check_engine_agreement,
     check_exact_baseline,
+    check_serve_agreement,
     run_oracle_stack,
 )
 
@@ -105,6 +106,8 @@ def replay_case(case: CrashCase) -> OracleFailure | None:
             return check_exact_baseline(network, flow)
         if case.oracle == "analytics_agreement":
             return check_analytics_agreement(network, flow)
+        if case.oracle == "serve_agreement":
+            return check_serve_agreement(network, flow)
         layout = flow.run(network)
     except FlowSkipped as exc:
         return OracleFailure(case.oracle, f"flow no longer yields a layout: {exc}")

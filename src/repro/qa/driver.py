@@ -22,6 +22,7 @@ from .config import (
     DIFF_ENGINES,
     DIFF_EXACT,
     DIFF_PLO,
+    DIFF_SERVE,
     FlowConfig,
     FlowSkipped,
     sample_flow,
@@ -34,6 +35,7 @@ from .oracles import (
     check_engine_agreement,
     check_exact_baseline,
     check_plo_agreement,
+    check_serve_agreement,
     run_oracle_stack,
 )
 from .shrink import shrink_network
@@ -144,6 +146,10 @@ def fuzz_one(
             failure = check_analytics_agreement(network, flow)
             if failure is not None:
                 return flow, spec, network, failure, None
+        if flow.differential == DIFF_SERVE:
+            failure = check_serve_agreement(network, flow)
+            if failure is not None:
+                return flow, spec, network, failure, None
 
         layout = flow.run(network)
     except FlowSkipped as exc:
@@ -170,6 +176,8 @@ def _still_fails(flow: FlowConfig, oracle: str, num_vectors: int):
                 return check_plo_agreement(network, flow) is not None
             if oracle == "analytics_agreement":
                 return check_analytics_agreement(network, flow) is not None
+            if oracle == "serve_agreement":
+                return check_serve_agreement(network, flow) is not None
             layout = flow.run(network)
         except FlowSkipped:
             return False

@@ -23,7 +23,11 @@ Each oracle inspects one invariant the benchmark database relies on:
 * ``analytics_agreement`` — the columnar batch-analytics kernels
   (:mod:`repro.analytics`) report the same metrics, DRC verdict and
   output signature as the per-artifact reference path for the layout
-  the flow produced (differential runs only).
+  the flow produced (differential runs only);
+* ``serve_agreement`` — after the fuzzed layout is admitted into a
+  database, the HTTP ``/v1/query``/``/v1/best``/artifact endpoints of
+  :mod:`repro.serve` return byte-identical payloads to the in-process
+  serving API (differential runs only).
 
 Oracles return ``None`` on success or a human-readable message on
 failure; the driver wraps messages into :class:`OracleFailure` records.
@@ -57,6 +61,7 @@ ORACLE_NAMES = (
     "exact_area",
     "plo_agreement",
     "analytics_agreement",
+    "serve_agreement",
 )
 
 
@@ -256,6 +261,122 @@ def check_analytics_agreement(network: LogicNetwork, flow) -> OracleFailure | No
                 f"columnar[{backend}] {columnar} != reference {reference} "
                 f"({flow.describe()})",
             )
+    return None
+
+
+def check_serve_agreement(network: LogicNetwork, flow) -> OracleFailure | None:
+    """The HTTP endpoints must agree with the in-process serving API.
+
+    Runs the flow, admits the layout into a throwaway database (loose
+    file → index → facets → pack, the writer sequence), starts a real
+    :class:`~repro.serve.app.BenchServer` on an ephemeral port, and
+    compares ``/v1/query``, ``/v1/best`` and the artifact download
+    against ``query_payload``/``best_payload``/``artifact_text`` on the
+    same database — the payloads must be byte-identical, so the HTTP
+    layer provably adds nothing but transport even for fuzzed layouts.
+    """
+    import http.client
+    import json
+    import threading
+    from tempfile import TemporaryDirectory
+    from pathlib import Path
+    from urllib.parse import quote, urlencode
+
+    from ..core import BenchmarkDatabase, Selection
+    from ..core.bench import BenchmarkFile
+    from ..core.selection import AbstractionLevel
+    from ..serve import ServeConfig, make_server
+    from ..serve.handlers import best_payload, query_payload
+    from .config import FlowSkipped
+
+    try:
+        layout = replace(flow, differential=None).run(network)
+    except FlowSkipped:
+        return None
+    algorithm = {"nanoplacer": "NPR"}.get(flow.algorithm, flow.algorithm)
+    scheme = "ROW" if layout.topology is not Topology.CARTESIAN else flow.scheme
+    with TemporaryDirectory(prefix="qa_serve_") as tmp:
+        root = Path(tmp)
+        db = BenchmarkDatabase(root)
+        (root / "fuzz").mkdir()
+        relpath = f"fuzz/{network.name}.fgl"
+        (root / relpath).write_text(layout_to_fgl(layout), encoding="utf-8")
+        width, height = layout.bounding_box()
+        db._records.append(
+            BenchmarkFile(
+                suite="fuzz",
+                name=network.name,
+                abstraction_level=AbstractionLevel.GATE_LEVEL,
+                path=relpath,
+                gate_library=flow.library,
+                clocking_scheme=scheme,
+                algorithm=algorithm,
+                width=width,
+                height=height,
+                area=width * height,
+            )
+        )
+        db._save_index()
+        db.pack()
+        selections = (
+            Selection.make(),
+            Selection.make(gate_libraries=[flow.library], best_only=True),
+            Selection.make(names=[network.name]),
+        )
+        server = make_server(ServeConfig(database=root, port=0, check_interval=0.0))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+
+        def fetch(path: str) -> bytes:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = response.read()
+            if response.status != 200:
+                raise AssertionError(f"GET {path} -> {response.status}")
+            return body
+
+        try:
+            for i, selection in enumerate(selections):
+                params = [("library", lib) for lib in selection.gate_libraries]
+                params += [("name", n) for n in selection.names]
+                if selection.best_only:
+                    params.append(("best", "1"))
+                served = json.loads(
+                    fetch("/v1/query?" + urlencode(params) if params else "/v1/query")
+                )
+                expected = query_payload(db, selection)
+                if served != expected:
+                    return OracleFailure(
+                        "serve_agreement",
+                        f"/v1/query selection #{i} served {served} "
+                        f"!= in-process {expected} ({flow.describe()})",
+                    )
+            served_bytes = fetch("/v1/artifact/" + quote(relpath))
+            expected_bytes = db.artifact_text(db.files()[0]).encode("utf-8")
+            if served_bytes != expected_bytes:
+                return OracleFailure(
+                    "serve_agreement",
+                    f"artifact download differs from artifact_text "
+                    f"({len(served_bytes)} vs {len(expected_bytes)} bytes, "
+                    f"{flow.describe()})",
+                )
+            served_best = json.loads(fetch("/v1/best"))
+            expected_best = best_payload(db)
+            if served_best != expected_best:
+                return OracleFailure(
+                    "serve_agreement",
+                    f"/v1/best served {served_best} != in-process "
+                    f"{expected_best} ({flow.describe()})",
+                )
+        except AssertionError as exc:
+            return OracleFailure("serve_agreement", str(exc))
+        finally:
+            conn.close()
+            server.close()
+            thread.join(timeout=10)
+            db.store.close()
     return None
 
 

@@ -1,0 +1,155 @@
+"""The HTTP transport: a threaded stdlib server around
+:class:`~repro.serve.handlers.BenchService`.
+
+One handler thread per connection (``ThreadingHTTPServer``), HTTP/1.1
+keep-alive so benchmark clients pay the TCP handshake once, and the
+request handler does nothing but parse → :meth:`BenchService.handle` →
+write.  ``make_server(port=0)`` binds an ephemeral port, which is what
+the test fixtures and the qa ``serve_agreement`` oracle use.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..core.snapshot import SnapshotManager
+from .handlers import BenchService, Request
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for one server instance."""
+
+    database: Path
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: Pre-build the facet index and parsed-layout cache before binding.
+    warm: bool = False
+    #: Seconds between on-disk epoch checks on the request path.
+    check_interval: float = 1.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Parse the request line, delegate, write the response."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive by default
+    server_version = "mnt-bench"
+    #: TCP_NODELAY: headers and body leave in separate ``send`` calls,
+    #: and Nagle + delayed ACK would stall the second by ~40 ms.
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._respond("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._respond("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._respond("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._respond("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._respond("DELETE")
+
+    def _respond(self, method: str) -> None:
+        server: BenchServer = self.server  # type: ignore[assignment]
+        server.track_enter()
+        try:
+            if method not in ("GET", "HEAD"):
+                # Unread request bodies would desync a kept-alive stream.
+                self.close_connection = True
+            split = urlsplit(self.path)
+            request = Request(
+                method=method,
+                path=unquote(split.path),
+                params=parse_qs(split.query),
+                headers={k.lower(): v for k, v in self.headers.items()},
+            )
+            response = server.service.handle(request)
+            self.send_response(response.status)
+            if response.content_type:
+                self.send_header("Content-Type", response.content_type)
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            if response.status != 304:
+                self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            if method != "HEAD" and response.status != 304:
+                self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        finally:
+            server.track_exit()
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging would dominate the serving benchmark
+
+
+class BenchServer(ThreadingHTTPServer):
+    """A threaded HTTP server owning one :class:`BenchService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: BenchService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self._active_lock = threading.Lock()
+        self._active = 0
+        #: Highest number of concurrently running handler threads seen —
+        #: the serving benchmark's saturation evidence.
+        self.peak_threads = 0
+
+    def track_enter(self) -> None:
+        with self._active_lock:
+            self._active += 1
+            if self._active > self.peak_threads:
+                self.peak_threads = self._active
+
+    def track_exit(self) -> None:
+        with self._active_lock:
+            self._active -= 1
+
+    @property
+    def manager(self) -> SnapshotManager:
+        return self.service.manager
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        self.service.manager.close()
+
+
+def make_server(config: ServeConfig) -> BenchServer:
+    """Build a ready-to-run server (``port=0`` binds an ephemeral port;
+    read the actual one from ``server.server_address``)."""
+    manager = SnapshotManager(config.database, check_interval=config.check_interval)
+    warm_stats = manager.warm() if config.warm else None
+    service = BenchService(manager)
+    if warm_stats is not None:
+        service.counters.update(warm_stats)
+    return BenchServer((config.host, config.port), service)
+
+
+def serve(config: ServeConfig) -> None:
+    """Run until interrupted (the ``mnt-bench serve`` entry point)."""
+    server = make_server(config)
+    host, port = server.server_address[:2]
+    snapshot = server.manager.current()
+    print(
+        f"mnt-bench serve: {len(snapshot.records)} records "
+        f"(epoch {snapshot.epoch}) on http://{host}:{port}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        server.manager.close()

@@ -1,0 +1,144 @@
+"""HTTP plumbing for the benchmark service: content negotiation,
+strong ETags, and a bounded compressed-response cache.
+
+Everything here is pure computation over bytes and header strings —
+no sockets — so the caching behaviour is tested directly in
+``tests/serve/test_caching.py``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import threading
+from collections import OrderedDict
+
+#: Responses smaller than this are never compressed (the gzip header
+#: plus CPU would cost more than the bytes saved).
+MIN_COMPRESS_SIZE = 256
+
+#: Default bound on the compressed-response LRU (entries).
+DEFAULT_GZIP_CACHE_SIZE = 256
+
+#: Compression level for negotiated gzip bodies; the artifacts are
+#: XML/JSON text, where 6 is already within a few percent of 9.
+_GZIP_LEVEL = 6
+
+
+def parse_accept_encoding(header: str | None) -> set[str]:
+    """The codings a client accepts, lowercased, ``q=0`` excluded.
+
+    Follows the common-case subset of RFC 9110 §12.5.3: tokens are
+    comma-separated, each optionally carrying ``;q=`` weights.  Only
+    membership matters to us — the server prefers ``deflate`` (free:
+    pack slices are already zlib streams) over ``gzip`` over identity.
+    """
+    if not header:
+        return set()
+    accepted: set[str] = set()
+    for token in header.split(","):
+        parts = token.strip().split(";")
+        coding = parts[0].strip().lower()
+        if not coding:
+            continue
+        q = 1.0
+        for param in parts[1:]:
+            name, _, value = param.partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    q = float(value.strip())
+                except ValueError:
+                    q = 0.0
+        if q > 0:
+            accepted.add(coding)
+    return accepted
+
+
+def strong_etag(*parts: str) -> str:
+    """A strong ETag from content-derived parts (pack digests, record
+    digests, canonical request strings) — identical content yields an
+    identical tag across processes and restarts."""
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+    return f'"{digest[:32]}"'
+
+
+def etag_matches(if_none_match: str | None, etag: str) -> bool:
+    """Does an ``If-None-Match`` header revalidate ``etag``?
+
+    Handles the ``*`` wildcard and comma-separated candidate lists; a
+    weak validator prefix (``W/``) is accepted as a match because GET
+    revalidation only needs weak comparison (RFC 9110 §13.1.2).
+    """
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+class LruCache:
+    """A small thread-safe LRU used for compressed responses and
+    per-epoch rendered payloads (report/best/cell-level conversions)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            if key not in self._data:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+
+    def put(self, key, value) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+class GzipEncoder:
+    """Gzip content negotiation behind a bounded LRU.
+
+    Compressed bodies are cached by the response's ETag (content-
+    derived, so an entry can never go stale: new content means a new
+    tag).  Bodies without a tag are compressed but not cached.
+    """
+
+    def __init__(self, cache_size: int = DEFAULT_GZIP_CACHE_SIZE) -> None:
+        self.cache = LruCache(cache_size)
+
+    def encode(self, body: bytes, etag: str | None) -> bytes:
+        if etag is not None:
+            cached = self.cache.get(etag)
+            if cached is not None:
+                return cached
+        # mtime=0 keeps the stream deterministic → cache/oracle friendly.
+        compressed = gzip.compress(body, compresslevel=_GZIP_LEVEL, mtime=0)
+        if etag is not None:
+            self.cache.put(etag, compressed)
+        return compressed
+
+    def worthwhile(self, body: bytes, accepted: set[str]) -> bool:
+        return "gzip" in accepted and len(body) >= MIN_COMPRESS_SIZE

@@ -11,6 +11,7 @@ from repro.core.store import (
     PACK_INDEX_NAME,
     PACK_MAGIC,
     PACK_NAME,
+    ArtifactNotFoundError,
     ArtifactStore,
 )
 from repro.io import layout_to_fgl
@@ -278,3 +279,49 @@ class TestDatabasePack:
         stats = db.pack()
         assert stats["packed_entries"] == 0
         assert db.artifact_text(db.files()[0]) == "module f0; endmodule\n"
+
+
+class TestArtifactNotFoundError:
+    """The typed 404: store/database misses name the artifact and stay
+    catchable under the historical exception types."""
+
+    def test_store_miss_raises_typed_error(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactNotFoundError) as excinfo:
+            store.read_text("s/nope.fgl")
+        assert excinfo.value.artifact_id == "s/nope.fgl"
+        assert "s/nope.fgl" in str(excinfo.value)
+
+    def test_typed_error_is_keyerror_and_filenotfounderror(self):
+        error = ArtifactNotFoundError("s/x.fgl")
+        assert isinstance(error, KeyError)
+        assert isinstance(error, FileNotFoundError)
+        # str() must read like a message, not KeyError's repr-quoting.
+        assert str(error).startswith("artifact 's/x.fgl' not found")
+
+    def test_database_gate_level_miss(self, tmp_path):
+        db = BenchmarkDatabase(tmp_path)
+        record = BenchmarkFile(
+            suite="s",
+            name="ghost",
+            abstraction_level=AbstractionLevel.GATE_LEVEL,
+            path="s/ghost.fgl",
+        )
+        with pytest.raises(ArtifactNotFoundError, match="s/ghost.fgl"):
+            db.artifact_text(record)
+
+    def test_database_network_miss(self, tmp_path):
+        db = BenchmarkDatabase(tmp_path)
+        record = BenchmarkFile(
+            suite="s",
+            name="ghost",
+            abstraction_level=AbstractionLevel.NETWORK,
+            path="s/ghost.v",
+        )
+        with pytest.raises(ArtifactNotFoundError, match="s/ghost.v"):
+            db.artifact_text(record)
+
+    def test_load_layout_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactNotFoundError):
+            store.load_layout("s/nope.fgl")

@@ -78,6 +78,28 @@ class TestPloDifferential:
         assert check_plo_agreement(net, flow) is None
 
 
+class TestServeDifferential:
+    def test_sampling_reaches_serve_mode(self):
+        from repro.qa import DIFF_SERVE
+
+        flows = [sample_flow(run_seed(29, i)) for i in range(600)]
+        assert any(
+            f.differential == DIFF_SERVE for f in flows
+        ), "DIFF_SERVE never sampled in 600 draws"
+
+    def test_agreement_on_clean_flow(self):
+        from repro.qa import check_serve_agreement
+
+        flow = FlowConfig(algorithm="ortho")
+        net = generate_network(GeneratorSpec("serve", 3, 2, 8, seed=5))
+        assert check_serve_agreement(net, flow) is None
+
+    def test_serve_oracle_in_stack_order(self):
+        from repro.qa import ORACLE_NAMES
+
+        assert "serve_agreement" in ORACLE_NAMES
+
+
 class TestNetJson:
     def test_roundtrip(self):
         net = small_network()

@@ -1,0 +1,122 @@
+"""Fixtures for the serving-layer tests: a synthesized benchmark
+database and an ephemeral :class:`~repro.serve.app.BenchServer`.
+
+The database is built the way the serving benchmark builds its own —
+real layouts from the physical-design flow, written as loose files,
+indexed, then packed — so the HTTP payloads exercise the genuine pack
+slices, not hand-written stubs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.core import BenchmarkDatabase
+from repro.core.bench import BenchmarkFile
+from repro.core.selection import AbstractionLevel
+from repro.io import layout_to_fgl
+from repro.physical_design import orthogonal_layout
+from repro.serve import ServeConfig, make_server
+
+NAMES = ("mux21", "xor2")
+SUITES = ("trindade16", "fontes18")
+
+#: (gate library, clocking scheme, algorithm, optimizations)
+VARIANTS = (
+    ("QCA ONE", "2DDWave", "ortho", ()),
+    ("QCA ONE", "USE", "exact", ()),
+    ("Bestagon", "ROW", "ortho", ("45°",)),
+)
+
+
+def build_serve_db(root: Path) -> BenchmarkDatabase:
+    """Loose files + index + pack, re-opened like a fresh process."""
+    db = BenchmarkDatabase(root)
+    for suite in SUITES:
+        (root / suite).mkdir(parents=True, exist_ok=True)
+        for name in NAMES:
+            network = get_benchmark("trindade16", name).build()
+            base = orthogonal_layout(network).layout
+            (root / suite / f"{name}.v").write_text(
+                f"// {suite}/{name} specification stub\n", encoding="utf-8"
+            )
+            db._records.append(
+                BenchmarkFile(
+                    suite=suite,
+                    name=name,
+                    abstraction_level=AbstractionLevel.NETWORK,
+                    path=f"{suite}/{name}.v",
+                )
+            )
+            for i, (library, scheme, algorithm, opts) in enumerate(VARIANTS):
+                layout = base.clone()
+                layout.name = f"{suite}_{name}_v{i}"
+                filename = BenchmarkDatabase.file_name(
+                    name, library, scheme, algorithm, opts
+                )
+                relpath = f"{suite}/{filename}"
+                (root / relpath).write_text(layout_to_fgl(layout), encoding="utf-8")
+                width, height = layout.bounding_box()
+                db._records.append(
+                    BenchmarkFile(
+                        suite=suite,
+                        name=name,
+                        abstraction_level=AbstractionLevel.GATE_LEVEL,
+                        path=relpath,
+                        gate_library=library,
+                        clocking_scheme=scheme,
+                        algorithm=algorithm,
+                        optimizations=opts,
+                        width=width,
+                        height=height,
+                        area=width * height + i,
+                    )
+                )
+    db._save_index()
+    db.pack()
+    return BenchmarkDatabase(root)
+
+
+@pytest.fixture(scope="session")
+def serve_db_root(tmp_path_factory) -> Path:
+    """A session-wide read-only database directory (never appended to —
+    tests that write build their own copy in ``tmp_path``)."""
+    root = tmp_path_factory.mktemp("serve_db")
+    db = build_serve_db(root)
+    db.store.close()
+    return root
+
+
+@pytest.fixture
+def server(serve_db_root):
+    """A running ephemeral-port server over the shared database."""
+    srv = make_server(
+        ServeConfig(database=serve_db_root, port=0, check_interval=0.0)
+    )
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def http_get(server):
+    """``http_get(path, headers=...)`` → (status, headers-dict, body) over
+    one keep-alive connection."""
+    host, port = server.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+
+    def get(path: str, headers: dict | None = None, method: str = "GET"):
+        conn.request(method, path, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, dict(response.getheaders()), body
+
+    yield get
+    conn.close()

@@ -1,0 +1,239 @@
+"""Endpoint smoke + payload-agreement tests for ``repro.serve``.
+
+Every endpoint is exercised once over a real socket (the CI tier-1
+smoke), and the JSON payloads are compared against the in-process
+oracles (``query_payload``/``best_payload`` over a pinned snapshot) so
+the HTTP layer provably adds nothing but transport.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import BenchmarkDatabase, Selection
+from repro.serve import best_payload, query_payload
+from repro.serve.handlers import BenchService, Request, selection_from_params
+
+
+def _json(body: bytes) -> dict:
+    return json.loads(body.decode("utf-8"))
+
+
+# -- one request per endpoint (the tier-1 smoke) ----------------------------
+
+
+def test_stats_endpoint(http_get, server):
+    status, headers, body = http_get("/v1/stats")
+    payload = _json(body)
+    assert status == 200
+    assert payload["status"] == "ok"
+    assert payload["records"] == 16
+    assert payload["records_by_level"] == {"gate-level": 12, "network": 4}
+    assert payload["epoch"] == 0
+    assert payload["store"]["packed_entries"] == 12
+
+
+def test_query_endpoint(http_get):
+    status, headers, body = http_get("/v1/query?level=gate-level")
+    payload = _json(body)
+    assert status == 200
+    assert payload["count"] == 12 == len(payload["files"])
+    assert headers["Content-Type"].startswith("application/json")
+    assert headers["ETag"].startswith('"')
+
+
+def test_artifact_endpoint(http_get, server, serve_db_root):
+    record = server.manager.current().records[1]  # first gate-level record
+    status, headers, body = http_get(f"/v1/artifact/{record.path}")
+    assert status == 200
+    assert headers["Content-Type"].startswith("application/xml")
+    # Byte-identical to the canonical loose artifact.
+    assert body == (serve_db_root / record.path).read_bytes()
+
+
+def test_best_endpoint(http_get):
+    status, _, body = http_get("/v1/best")
+    payload = _json(body)
+    assert status == 200
+    assert payload["count"] > 0
+    row = payload["best"][0]
+    assert {"suite", "name", "gate_library", "area"} <= set(row)
+
+
+def test_report_endpoint(http_get):
+    status, headers, body = http_get("/v1/report?format=markdown")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/markdown")
+    assert body.decode("utf-8").startswith("# MNT Bench report")
+
+
+# -- payload agreement with the in-process API ------------------------------
+
+
+@pytest.mark.parametrize(
+    "query_string, selection_kwargs",
+    [
+        ("", {}),
+        ("level=gate-level", {"abstraction_levels": "gate-level"}),
+        ("library=QCA+ONE&best=1", {"gate_libraries": ["QCA ONE"], "best_only": True}),
+        (
+            "scheme=USE&algorithm=exact&suite=trindade16",
+            {
+                "clocking_schemes": ["USE"],
+                "algorithms": ["exact"],
+                "suites": ["trindade16"],
+            },
+        ),
+        ("name=mux21", {"names": ["mux21"]}),
+    ],
+)
+def test_query_agrees_with_in_process(
+    http_get, serve_db_root, query_string, selection_kwargs
+):
+    db = BenchmarkDatabase(serve_db_root)
+    try:
+        expected = query_payload(db, Selection.make(**selection_kwargs))
+        _, _, body = http_get(f"/v1/query?{query_string}")
+        assert _json(body) == expected
+    finally:
+        db.store.close()
+
+
+def test_best_agrees_with_in_process(http_get, serve_db_root):
+    db = BenchmarkDatabase(serve_db_root)
+    try:
+        expected = best_payload(db, Selection.make(gate_libraries=["QCA ONE"]))
+        _, _, body = http_get("/v1/best?library=QCA+ONE")
+        assert _json(body) == expected
+    finally:
+        db.store.close()
+
+
+def test_report_agrees_with_in_process(http_get, serve_db_root):
+    from repro.analytics.report import build_report
+
+    db = BenchmarkDatabase(serve_db_root)
+    try:
+        expected = build_report(db, None).render("json")
+        _, _, body = http_get("/v1/report?format=json")
+        assert body.decode("utf-8") == expected
+    finally:
+        db.store.close()
+
+
+# -- artifact formats --------------------------------------------------------
+
+
+def test_artifact_json_format(http_get, server, serve_db_root):
+    record = next(
+        r for r in server.manager.current().records if r.path.endswith(".fgl")
+    )
+    status, _, body = http_get(f"/v1/artifact/{record.path}?format=json")
+    payload = _json(body)
+    assert status == 200
+    assert payload["record"]["path"] == record.path
+    assert payload["text"] == (serve_db_root / record.path).read_text("utf-8")
+
+
+def test_artifact_network_verilog(http_get, server):
+    record = next(
+        r for r in server.manager.current().records if r.path.endswith(".v")
+    )
+    status, headers, body = http_get(f"/v1/artifact/{record.path}")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert b"specification stub" in body
+
+
+def test_artifact_cell_level_formats(http_get, server):
+    records = server.manager.current().records
+    qca_record = next(r for r in records if r.gate_library == "QCA ONE")
+    status, headers, body = http_get(f"/v1/artifact/{qca_record.path}?format=qca")
+    assert status == 200
+    assert b"[TYPE:QCADCell]" in body
+
+    sqd_record = next(r for r in records if r.gate_library == "Bestagon")
+    status, _, body = http_get(f"/v1/artifact/{sqd_record.path}?format=sqd")
+    assert status == 200
+    assert b"siqad" in body
+
+    # The wrong cell-level format for a library is a client error.
+    status, _, body = http_get(f"/v1/artifact/{qca_record.path}?format=sqd")
+    assert status == 400
+    assert "QCA ONE" in _json(body)["error"]
+
+
+# -- error mapping -----------------------------------------------------------
+
+
+def test_artifact_missing_maps_to_404(http_get):
+    status, _, body = http_get("/v1/artifact/trindade16/nope.fgl")
+    payload = _json(body)
+    assert status == 404
+    assert "trindade16/nope.fgl" in payload["error"]
+
+
+def test_artifact_traversal_rejected(http_get):
+    status, _, _ = http_get("/v1/artifact/x/../../etc/passwd")
+    assert status == 400
+
+
+def test_unknown_facet_maps_to_400(http_get):
+    status, _, body = http_get("/v1/query?library=bogus")
+    assert status == 400
+    assert "bogus" in _json(body)["error"]
+
+
+def test_unknown_endpoint_404(http_get):
+    status, _, _ = http_get("/v1/nothing-here")
+    assert status == 404
+
+
+def test_unknown_report_format_400(http_get):
+    status, _, _ = http_get("/v1/report?format=pdf")
+    assert status == 400
+
+
+def test_post_not_allowed(http_get):
+    status, _, _ = http_get("/v1/query", method="POST")
+    assert status == 405
+
+
+def test_head_has_no_body(http_get):
+    status, headers, body = http_get("/v1/stats", method="HEAD")
+    assert status == 200
+    assert body == b""
+    assert int(headers["Content-Length"]) > 0
+
+
+# -- request parsing units ---------------------------------------------------
+
+
+def test_selection_from_params_round_trip():
+    request = Request(
+        method="GET",
+        path="/v1/query",
+        params={
+            "level": ["gate-level"],
+            "library": ["QCA ONE", "Bestagon"],
+            "best": ["true"],
+        },
+        headers={},
+    )
+    selection = selection_from_params(request)
+    assert selection == Selection.make(
+        abstraction_levels="gate-level",
+        gate_libraries=["QCA ONE", "Bestagon"],
+        best_only=True,
+    )
+
+
+def test_service_counters(server, http_get):
+    http_get("/v1/query")
+    http_get("/v1/artifact/missing.fgl")
+    service: BenchService = server.service
+    assert service.counters["query"] >= 1
+    assert service.counters["errors"] >= 1
+    assert service.counters["requests"] >= 2
