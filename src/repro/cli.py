@@ -81,9 +81,22 @@ def _cmd_generate(args) -> int:
         use_cache=not args.no_cache,
         profile=args.profile,
         profile_top=args.profile_top,
+        task_wall_budget=args.task_timeout,
+        task_memory_budget_mb=args.task_memory_mb,
+        reproducible=args.reproducible,
+    )
+    from .scheduler import SchedulerParams
+
+    scheduler = SchedulerParams(
+        resume=args.resume,
+        queue_dir=args.queue_dir,
+        max_tasks_per_worker=args.max_tasks_per_worker,
+        early_cancel=args.early_cancel,
+        node_id=args.node_id,
     )
     libraries = tuple(args.library) if args.library else ("QCA ONE", "Bestagon")
-    created = db.generate(specs, libraries=libraries, params=params)
+    created = db.generate(specs, libraries=libraries, params=params,
+                          scheduler=scheduler)
     for record in created:
         area = f"A={record.area}" if record.area is not None else ""
         print(f"wrote {record.path} {area}")
@@ -98,6 +111,17 @@ def _cmd_generate(args) -> int:
         print("per-flow wall times:")
         for key in sorted(report.flow_seconds):
             print(f"  {key:48s} {report.flow_seconds[key]:8.3f} s")
+    if report.scheduler is not None:
+        sched_stats = report.scheduler
+        print(
+            "scheduler: "
+            f"{sched_stats['queued']} queued, {sched_stats['done']} done, "
+            f"{sched_stats['failed']} failed, {sched_stats['resumed']} resumed, "
+            f"{sched_stats['cancelled']} cancelled, "
+            f"{sched_stats['stolen']} stolen, "
+            f"{sched_stats['remote_completed']} remote "
+            f"[{sched_stats['mode']}, node {sched_stats['node']}]"
+        )
     print(report.summary())
     return 0
 
@@ -380,6 +404,46 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--no-cache", action="store_true",
         help="re-run flows even when the index flow cache has results",
+    )
+    gen.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed sweep from the generation journal instead "
+        "of re-running journaled flows",
+    )
+    gen.add_argument(
+        "--queue-dir", metavar="DIR",
+        help="shared work-queue directory: multiple generate processes "
+        "pointing at the same DIR shard one sweep (atomic claims, "
+        "heartbeat leases, stale-lease takeover)",
+    )
+    gen.add_argument(
+        "--task-timeout", type=float, metavar="SECONDS",
+        help="wall budget per flow task; overruns are SIGKILLed and "
+        "recorded as timeout rejections",
+    )
+    gen.add_argument(
+        "--task-memory-mb", type=float, metavar="MIB",
+        help="address-space budget per flow task (RLIMIT_AS in the "
+        "worker); overruns are recorded as memory rejections",
+    )
+    gen.add_argument(
+        "--max-tasks-per-worker", type=int, default=25, metavar="N",
+        help="recycle each worker process after N tasks (0: never)",
+    )
+    gen.add_argument(
+        "--early-cancel", action="store_true",
+        help="kill still-running exact tasks once their portfolio group "
+        "already met the network's area lower bound",
+    )
+    gen.add_argument(
+        "--reproducible", action="store_true",
+        help="zero recorded runtimes so identical inputs yield "
+        "byte-identical databases",
+    )
+    gen.add_argument(
+        "--node-id", metavar="ID",
+        help="stable scheduler identity in journal/queue files "
+        "(default: hostname-pid)",
     )
 
     opt = sub.add_parser(

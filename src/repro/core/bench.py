@@ -34,7 +34,9 @@ import json
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
+import os
+
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 from ..benchsuite.registry import BenchmarkSpec
@@ -156,6 +158,17 @@ class GenerationParams:
     profile: bool = False
     #: Number of rows in each per-flow profile table.
     profile_top: int = 12
+    #: Wall-clock budget per flow task; the scheduler SIGKILLs the
+    #: worker past it and records a ``timeout`` rejection.  Part of the
+    #: cache key: changing the budget invalidates budget-rejected
+    #: entries.
+    task_wall_budget: float | None = None
+    #: Address-space budget per flow task in MiB (``RLIMIT_AS`` inside
+    #: the worker); overruns become recorded ``memory`` rejections.
+    task_memory_budget_mb: float | None = None
+    #: Zero all recorded runtimes so identical inputs produce
+    #: byte-identical databases (crash/resume identity tests).
+    reproducible: bool = False
 
     def cache_fields(self) -> dict:
         """The parameter subset that affects flow *results* (not how or
@@ -183,22 +196,48 @@ class GenerationReport:
     #: Flows that produced no candidate layout (scale refusals, timeouts).
     no_layout: int = 0
     skipped_cached: int = 0
+    #: Tasks killed at their wall budget (recorded, not dropped).
+    timeouts: int = 0
+    #: Tasks whose worker hit the address-space budget.
+    memory_exceeded: int = 0
+    #: Exact tasks early-cancelled as dominated.
+    cancelled: int = 0
+    #: Tasks that errored or whose worker died past all retries.
+    worker_errors: int = 0
+    #: Tasks replayed from the generation journal (``--resume``).
+    resumed: int = 0
     flow_seconds: dict[str, float] = field(default_factory=dict)
     #: Per-flow cProfile top-N tables (populated with ``profile=True``).
     flow_profiles: dict[str, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: Scheduler accounting for this sweep (``SchedulerStats.to_json``).
+    scheduler: dict | None = None
 
     @property
     def executed_flows(self) -> int:
         return len(self.flow_seconds)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.admitted} admitted, {self.drc_failed} DRC-failed, "
             f"{self.inequivalent} inequivalent, {self.no_layout} without layout, "
             f"{self.skipped_cached} cache hits "
             f"({self.executed_flows} flows executed in {self.wall_seconds:.1f}s)"
         )
+        extras = []
+        if self.resumed:
+            extras.append(f"{self.resumed} resumed from journal")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timed out")
+        if self.memory_exceeded:
+            extras.append(f"{self.memory_exceeded} over memory budget")
+        if self.cancelled:
+            extras.append(f"{self.cancelled} cancelled as dominated")
+        if self.worker_errors:
+            extras.append(f"{self.worker_errors} worker errors")
+        if extras:
+            text += "; " + ", ".join(extras)
+        return text
 
 
 class GenerationOutcome(list):
@@ -261,6 +300,9 @@ class FlowTaskResult:
     wall_seconds: float
     #: Formatted cProfile top-N table when profiling was requested.
     profile_stats: str | None = None
+    #: Scheduler-recorded failure instead of a computed result:
+    #: ``{"status": "timeout"|"memory"|"cancelled"|"error", "reason": str}``.
+    failure: dict | None = None
 
 
 def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
@@ -414,7 +456,26 @@ def _execute_flow_task(task: FlowTask) -> FlowTaskResult:
                 num_crossings=layout.num_crossings(),
             )
         )
-    return FlowTaskResult(task.flow, tuple(candidates), time.monotonic() - started)
+    result = FlowTaskResult(task.flow, tuple(candidates), time.monotonic() - started)
+    if task.params.reproducible:
+        result = _strip_result_runtimes(result)
+    return result
+
+
+def _strip_result_runtimes(result: FlowTaskResult) -> FlowTaskResult:
+    """Zero every wall-clock measurement in a task result.
+
+    Runtimes are the only nondeterministic field a flow result carries;
+    with ``GenerationParams.reproducible`` identical inputs therefore
+    produce byte-identical databases — the property the crash/resume
+    identity tests assert.
+    """
+    candidates = tuple(
+        replace(candidate, runtime_seconds=0.0) for candidate in result.candidates
+    )
+    return FlowTaskResult(
+        result.flow, candidates, 0.0, result.profile_stats, result.failure
+    )
 
 
 def _profile_flow_task(task: FlowTask) -> FlowTaskResult:
@@ -511,7 +572,10 @@ def _execute_optimize_task(task: OptimizeTask) -> FlowTaskResult:
             num_wires=final.num_wires(),
             num_crossings=final.num_crossings(),
         )
-    return FlowTaskResult(task.flow, (artifact,), time.monotonic() - started)
+    result = FlowTaskResult(task.flow, (artifact,), time.monotonic() - started)
+    if task.params.reproducible:
+        result = _strip_result_runtimes(result)
+    return result
 
 
 def _execute_tasks(
@@ -596,7 +660,10 @@ class BenchmarkDatabase:
         data = {"files": [r.to_json() for r in self._records]}
         if self._flow_cache:
             data["flow_cache"] = self._flow_cache
-        self._index_path().write_text(json.dumps(data, indent=2), encoding="utf-8")
+        path = self._index_path()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2), encoding="utf-8")
+        os.replace(tmp, path)
         self._facet_index().save(self.root, records_digest(self._records))
         self._facet_status = "loaded"
         self.store.save()
@@ -810,6 +877,7 @@ class BenchmarkDatabase:
         specs: list[BenchmarkSpec],
         libraries: tuple[str, ...] = ("QCA ONE", "Bestagon"),
         params: GenerationParams | None = None,
+        scheduler=None,
     ) -> GenerationOutcome:
         """Generate artifacts for ``specs`` and add them to the index.
 
@@ -820,21 +888,59 @@ class BenchmarkDatabase:
         admitted (matching the upstream quality gate); their rejection
         reasons are recorded in the report and flow cache rather than
         silently dropped.
+
+        Execution is handled by the work-queue scheduler
+        (:mod:`repro.scheduler`): pass a
+        :class:`~repro.scheduler.SchedulerParams` as ``scheduler`` for
+        checkpoint/resume (``resume=True`` replays the generation
+        journal), multi-process sharding (``queue_dir``) and
+        early-cancel of dominated exact tasks; per-task wall/memory
+        budgets live on :class:`GenerationParams` because they affect
+        flow results.  ``profile=True`` keeps the legacy in-process
+        fan-out (one profiler per flow).
         """
+        from ..scheduler.engine import SchedulerParams, run_generation
+        from ..scheduler.journal import JOURNAL_NAME, GenerationJournal
+
         params = params or GenerationParams()
+        sched = scheduler or SchedulerParams()
         report = GenerationReport()
         started = time.monotonic()
+        journal_path = self.root / JOURNAL_NAME
+        if params.profile:
+            journal = None
+        elif sched.resume:
+            journal = GenerationJournal.load(journal_path)
+            # A crash between a pack append and its index flush leaves
+            # an orphan tail; drop it so re-appends land byte-identically.
+            self.store.repair_truncate()
+        else:
+            journal = GenerationJournal.fresh(journal_path)
         # Slots keep the created-record order identical whether a flow
-        # executes or is served from the cache: one slot per network
-        # artifact plus one per flow, filled in definition order.
+        # executes, resumes from the journal or is served from the
+        # cache: one slot per network artifact plus one per flow,
+        # filled in definition order.
         slots: list[list[BenchmarkFile]] = []
-        pending: list[tuple[BenchmarkSpec, str, FlowTask, list[BenchmarkFile]]] = []
+        # (spec, key, task, slot, journaled-entry); journaled tasks are
+        # merged at their definition-order position without executing.
+        pending: list[tuple] = []
+        bounds: dict | None = {} if sched.early_cancel else None
         for spec in specs:
             network = spec.build(params.node_cap)
             slots.append([self._remember(self._write_network(spec, network))])
             verilog = network_to_verilog(network)
             signature = output_signature(network)
-            for flow in self._flow_names(network, libraries, params):
+            flows = self._flow_names(network, libraries, params)
+            if bounds is not None and any(
+                flow.startswith("exact:") or flow == "exact_hex" for flow in flows
+            ):
+                from ..physical_design.exact import area_lower_bound
+
+                bounds[(spec.suite, spec.name)] = {
+                    "cart": area_lower_bound(network),
+                    "hex": area_lower_bound(network, keep_two_input=True),
+                }
+            for flow in flows:
                 key = self._cache_key(signature, flow, params)
                 slot: list[BenchmarkFile] = []
                 slots.append(slot)
@@ -848,19 +954,34 @@ class BenchmarkDatabase:
                     for record_json in entry["records"]:
                         slot.append(self._remember(BenchmarkFile.from_json(record_json)))
                     continue
+                if journal is not None and sched.resume and key in journal:
+                    journaled = journal.cache_entry(key)
+                    if journaled is not None and self._cache_entry_usable(journaled):
+                        pending.append((spec, key, None, slot, journaled))
+                        continue
                 pending.append(
-                    (spec, key, FlowTask(spec.suite, spec.name, flow, verilog, params), slot)
+                    (
+                        spec,
+                        key,
+                        FlowTask(spec.suite, spec.name, flow, verilog, params),
+                        slot,
+                        None,
+                    )
                 )
-        results = _execute_tasks(
-            [task for _, _, task, _ in pending], params.jobs, params.profile
-        )
-        self._merge_results(
-            (
-                (spec.suite, spec.name, task.flow, key, slot, result)
-                for (spec, key, task, slot), result in zip(pending, results)
-            ),
-            report,
-        )
+        if params.profile:
+            results = _execute_tasks(
+                [task for _, _, task, _, _ in pending], params.jobs, params.profile
+            )
+            self._merge_results(
+                (
+                    (spec.suite, spec.name, task.flow, key, slot, result)
+                    for (spec, key, task, slot, _), result in zip(pending, results)
+                ),
+                report,
+            )
+        else:
+            run_generation(self, pending, params, sched, report, journal,
+                           bounds=bounds)
         report.wall_seconds = time.monotonic() - started
         self._save_index()
         created = [record for slot in slots for record in slot]
@@ -958,14 +1079,22 @@ class BenchmarkDatabase:
             and "PLO" not in record.optimizations
         )
 
+    #: Persist index.json/facets.json every N merged flows so an
+    #: exception (or crash) mid-merge loses at most one batch, not the
+    #: whole sweep's records.
+    _MERGE_FLUSH_EVERY = 8
+
     def _merge_results(self, merged, report: GenerationReport) -> None:
         """Fold worker results into records, report and flow cache.
 
         ``merged`` yields ``(suite, name, flow, cache_key, slot,
         result)`` tuples; shared by :meth:`generate` and
         :meth:`optimize` so both stages make identical admission,
-        caching and bookkeeping decisions.
+        caching and bookkeeping decisions.  The index is flushed every
+        :attr:`_MERGE_FLUSH_EVERY` flows — completed work survives a
+        failure partway through the batch.
         """
+        merged_count = 0
         for suite, name, flow, key, slot, result in merged:
             cached_records: list[dict] = []
             rejections: list[dict] = []
@@ -985,7 +1114,22 @@ class BenchmarkDatabase:
                     rejections.append(
                         {"status": candidate.status, "reason": candidate.reason}
                     )
-            if not result.candidates:
+            if result.failure is not None:
+                # Budget kills, early-cancels and worker deaths are
+                # recorded rejections — never silently dropped.
+                status = result.failure.get("status", "error")
+                if status == "timeout":
+                    report.timeouts += 1
+                elif status == "memory":
+                    report.memory_exceeded += 1
+                elif status == "cancelled":
+                    report.cancelled += 1
+                else:
+                    report.worker_errors += 1
+                rejections.append(
+                    {"status": status, "reason": result.failure.get("reason")}
+                )
+            elif not result.candidates:
                 report.no_layout += 1
             report.flow_seconds[f"{suite}/{name}:{flow}"] = result.wall_seconds
             if result.profile_stats is not None:
@@ -997,6 +1141,9 @@ class BenchmarkDatabase:
                 "records": cached_records,
                 "rejections": rejections,
             }
+            merged_count += 1
+            if merged_count % self._MERGE_FLUSH_EVERY == 0:
+                self._save_index()
 
     def _remember(self, record: BenchmarkFile) -> BenchmarkFile:
         """Add ``record`` to the index unless an identical-path record
@@ -1083,7 +1230,11 @@ class BenchmarkDatabase:
             candidate.algorithm,
             candidate.optimizations,
         )
-        (directory / filename).write_text(candidate.fgl_text, encoding="utf-8")
+        # Atomic write: a crash mid-write must never leave a torn loose
+        # artifact that a later resume would mistake for a usable one.
+        tmp = directory / f".{filename}.tmp"
+        tmp.write_text(candidate.fgl_text, encoding="utf-8")
+        os.replace(tmp, directory / filename)
         # Auto-pack: the loose file stays the canonical artifact, the
         # pack copy is what serving reads.
         self.store.add_text(f"{suite}/{filename}", candidate.fgl_text)

@@ -198,12 +198,46 @@ class ArtifactStore:
             return {}, 0
 
     def save(self) -> None:
-        """Persist the offset table if it changed since the last save."""
+        """Persist the offset table if it changed since the last save.
+
+        Atomic (tmp + ``os.replace``): the scheduler flushes this file
+        as part of every task's commit sequence, and a crash mid-write
+        must leave the previous consistent table, not a torn one.
+        """
         if not self._dirty:
             return
         data = {"version": PACK_INDEX_VERSION, "entries": self._entries}
-        self.index_path.write_text(json.dumps(data, indent=2), encoding="utf-8")
+        tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2), encoding="utf-8")
+        os.replace(tmp, self.index_path)
         self._dirty = False
+
+    def repair_truncate(self) -> int:
+        """Drop any orphan pack tail past the last indexed entry.
+
+        A crash between a pack append and its ``pack_index.json`` flush
+        leaves unindexed bytes at the end of ``artifacts.pack``.  A
+        resumed run re-executes those tasks and re-appends their
+        payloads — truncating first makes the re-appended pack
+        byte-identical to an uninterrupted run's.  Returns the number
+        of bytes removed.
+        """
+        pack = self.pack_path
+        if not pack.exists():
+            return 0
+        with self._lock:
+            end = len(PACK_MAGIC)
+            for entry in self._entries.values():
+                end = max(end, entry["offset"] + entry["length"])
+            size = pack.stat().st_size
+            if size <= end:
+                return 0
+            if self._pack_fd is not None:
+                os.close(self._pack_fd)
+                self._pack_fd = None
+            with open(pack, "rb+") as handle:
+                handle.truncate(end)
+            return size - end
 
     # -- low-level pack access -----------------------------------------------
 
@@ -240,8 +274,18 @@ class ArtifactStore:
         return self._entries.get(relpath)
 
     def add_text(self, relpath: str, text: str) -> None:
-        """Append one artifact payload to the pack and index it."""
+        """Append one artifact payload to the pack and index it.
+
+        Idempotent for identical content: re-adding a path whose
+        indexed entry already carries this payload's digest is a no-op,
+        so a resumed (or retried) generation task that re-produces the
+        same artifact does not grow the pack.
+        """
         data = text.encode("utf-8")
+        digest = hashlib.sha256(data).hexdigest()
+        existing = self._entries.get(relpath)
+        if existing is not None and existing["sha256"] == digest:
+            return
         compressed = zlib.compress(data, _COMPRESSION_LEVEL)
         with self._lock:
             with open(self.pack_path, "ab") as handle:
@@ -254,7 +298,7 @@ class ArtifactStore:
                 "offset": offset,
                 "length": len(compressed),
                 "size": len(data),
-                "sha256": hashlib.sha256(data).hexdigest(),
+                "sha256": digest,
             }
             self._dirty = True
 

@@ -106,6 +106,22 @@ class _Timeout(Exception):
     pass
 
 
+def area_lower_bound(network: LogicNetwork, keep_two_input: bool = False) -> int:
+    """Area (tile count) no exact layout of ``network`` can beat.
+
+    Every placed element — PI, gate, fanout — of the layout-prepared
+    network occupies at least one tile, which is exactly the bound the
+    exact search starts from.  The generation scheduler uses it to
+    early-cancel exact tasks whose portfolio group already produced a
+    layout of this area: the search cannot improve on it.
+
+    ``keep_two_input`` must match the flow's preparation (the hexagonal
+    Bestagon flow keeps two-input gates, the Cartesian flows do not).
+    """
+    ntk = prepare_for_layout(decompose_to_aoig(network, keep_two_input))
+    return len(_search_order(ntk))
+
+
 def exact_layout(network: LogicNetwork, params: ExactParams | None = None) -> ExactResult:
     """Find an area-minimal layout for ``network`` on ``params.scheme``.
 

@@ -1,0 +1,47 @@
+"""Per-task wall-time and memory budgets.
+
+Wall budgets are enforced by the parent: the worker pool SIGKILLs a
+worker whose current task exceeds :attr:`TaskBudget.wall_seconds` and
+records the task as ``rejected: timeout``.  Memory budgets are
+enforced inside the worker via ``RLIMIT_AS`` so runaway allocation
+raises :class:`MemoryError` in-process and is reported as a ``memory``
+rejection instead of taking the whole machine down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaskBudget:
+    """Resource envelope applied to every generation task."""
+
+    wall_seconds: float | None = None
+    memory_bytes: int | None = None
+
+    @property
+    def bounded(self) -> bool:
+        return self.wall_seconds is not None or self.memory_bytes is not None
+
+
+def apply_memory_limit(memory_bytes: int) -> bool:
+    """Cap this process's address space; ``False`` if unsupported.
+
+    Called inside worker processes before the task loop.  On platforms
+    without ``resource`` (or where ``RLIMIT_AS`` is not settable) the
+    budget silently degrades to wall-time-only enforcement.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return False
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        new_soft = memory_bytes
+        if hard != resource.RLIM_INFINITY:
+            new_soft = min(new_soft, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (new_soft, hard))
+    except (ValueError, OSError):  # pragma: no cover - platform quirk
+        return False
+    return True

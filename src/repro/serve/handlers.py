@@ -310,8 +310,28 @@ class BenchService:
             "gzip_cache": self.gzip.cache.stats(),
             "render_cache": self.render_cache.stats(),
             "counters": dict(sorted(self.counters.items())),
+            "generation": self._generation_stats(snapshot),
         }
         return _json_response(payload)
+
+    @staticmethod
+    def _generation_stats(snapshot) -> dict | None:
+        """The last sweep's scheduler accounting, if one ran here.
+
+        ``generate`` persists ``generation_stats.json`` next to the
+        index (see :mod:`repro.scheduler.engine`); serving surfaces it
+        verbatim so operators can watch an unattended sweep's task
+        counters (done/failed/cancelled/stolen, per-flow wall time)
+        through the same ``/v1/stats`` endpoint they already poll.
+        """
+        from ..scheduler.engine import GENERATION_STATS_NAME
+
+        path = snapshot.root / GENERATION_STATS_NAME
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        return data if isinstance(data, dict) else None
 
     def _artifact(self, request: Request, raw_id: str) -> Response:
         artifact_id = raw_id.strip("/")

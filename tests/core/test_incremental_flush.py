@@ -1,0 +1,89 @@
+"""Regression: ``_merge_results`` must flush the index incrementally.
+
+The original implementation saved ``index.json`` once at the very end
+of ``generate()``/``optimize()`` — an exception (or crash) partway
+through a long merge lost every already-completed flow.  The merge loop
+now flushes every ``_MERGE_FLUSH_EVERY`` flows, so at most one batch of
+records is lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkDatabase
+from repro.core.bench import FlowArtifact, FlowTaskResult, GenerationReport
+from repro.io import layout_to_fgl
+
+from tests.conftest import assert_layout_good
+
+
+def _admitted_result(layout, flow: str) -> FlowTaskResult:
+    width, height = layout.bounding_box()
+    candidate = FlowArtifact(
+        status="admitted",
+        library="QCA ONE",
+        algorithm="ortho",
+        scheme="2DDWave",
+        optimizations=(),
+        runtime_seconds=0.0,
+        fgl_text=layout_to_fgl(layout),
+        width=width,
+        height=height,
+        num_gates=1,
+        num_wires=0,
+        num_crossings=0,
+    )
+    return FlowTaskResult(flow=flow, candidates=(candidate,), wall_seconds=0.0)
+
+
+def test_merge_flushes_before_generator_failure(tmp_path, and_layout):
+    layout, network = and_layout
+    assert_layout_good(layout, network)
+    db = BenchmarkDatabase(tmp_path / "db")
+    report = GenerationReport()
+
+    def results():
+        yield ("trindade16", "first", "ortho", "key-1", [],
+               _admitted_result(layout, "ortho"))
+        raise RuntimeError("boom mid-merge")
+
+    db._MERGE_FLUSH_EVERY = 1
+    with pytest.raises(RuntimeError, match="boom mid-merge"):
+        db._merge_results(results(), report)
+
+    # A fresh process (or a resumed run) sees the completed flow: its
+    # record is in index.json and its cache entry replays.
+    reopened = BenchmarkDatabase(tmp_path / "db")
+    assert [record.name for record in reopened.files()] == ["first"]
+    assert "key-1" in reopened._flow_cache
+    assert reopened._flow_cache["key-1"]["flow"] == "ortho"
+
+
+def test_merge_flush_batches_by_class_attribute(tmp_path, and_layout):
+    """With the default batch size, a failure loses at most the current
+    batch — everything before the last flush boundary survives."""
+    layout, _ = and_layout
+    db = BenchmarkDatabase(tmp_path / "db")
+    report = GenerationReport()
+    batch = db._MERGE_FLUSH_EVERY
+    total = batch + 2  # one full (flushed) batch plus a partial one
+
+    def results():
+        for i in range(total):
+            yield ("trindade16", f"bench{i:02d}", "ortho", f"key-{i:02d}", [],
+                   _admitted_result(layout, "ortho"))
+        raise RuntimeError("crash after partial batch")
+
+    with pytest.raises(RuntimeError):
+        db._merge_results(results(), report)
+
+    reopened = BenchmarkDatabase(tmp_path / "db")
+    names = [record.name for record in reopened.files()]
+    assert names == [f"bench{i:02d}" for i in range(batch)]
+    assert all(f"key-{i:02d}" in reopened._flow_cache for i in range(batch))
+    # The partial batch after the last flush is legitimately lost...
+    assert f"key-{total - 1:02d}" not in reopened._flow_cache
+    # ...but the in-memory state still has everything, so the caller's
+    # final save (when it survives) loses nothing.
+    assert report.admitted == total

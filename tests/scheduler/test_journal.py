@@ -1,0 +1,126 @@
+"""Unit tests for the generation journal's durability contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scheduler import GenerationJournal
+from repro.scheduler.journal import JOURNAL_VERSION, JournalRecord, _parse_line
+
+
+def _append(journal: GenerationJournal, key: str, **overrides) -> None:
+    fields = {
+        "key": key,
+        "suite": "trindade16",
+        "name": "mux21",
+        "flow": "ortho",
+        "status": "done",
+        "entry": {"records": [], "rejections": []},
+        "seconds": 0.5,
+        "node": "host-1",
+    }
+    fields.update(overrides)
+    journal.append(**fields)
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = GenerationJournal.fresh(path)
+    _append(journal, "k1")
+    _append(journal, "k2", flow="npr", status="timeout", entry=None)
+
+    loaded = GenerationJournal.load(path)
+    assert len(loaded) == 2
+    assert loaded.dropped == 0
+    assert "k1" in loaded and "k2" in loaded
+    assert loaded.cache_entry("k1") == {"records": [], "rejections": []}
+    assert loaded.cache_entry("k2") is None
+    record = loaded.records["k2"]
+    assert record == JournalRecord(
+        key="k2", suite="trindade16", name="mux21", flow="npr",
+        status="timeout", entry=None, seconds=0.5, node="host-1",
+    )
+
+
+def test_fresh_discards_previous_journal(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = GenerationJournal.fresh(path)
+    _append(journal, "stale")
+    assert len(GenerationJournal.load(path)) == 1
+
+    fresh = GenerationJournal.fresh(path)
+    assert len(fresh) == 0
+    assert not path.exists()
+    _append(fresh, "new")
+    loaded = GenerationJournal.load(path)
+    assert "new" in loaded and "stale" not in loaded
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    loaded = GenerationJournal.load(tmp_path / "absent.jsonl")
+    assert len(loaded) == 0
+    assert loaded.dropped == 0
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = GenerationJournal.fresh(path)
+    _append(journal, "k1")
+    _append(journal, "k2")
+    raw = path.read_bytes()
+    # Simulate a crash mid-append: half of k2's line reaches disk.
+    first_line_end = raw.index(b"\n") + 1
+    torn = raw[: first_line_end + (len(raw) - first_line_end) // 2]
+    path.write_bytes(torn)
+
+    loaded = GenerationJournal.load(path)
+    assert "k1" in loaded
+    assert "k2" not in loaded
+    assert loaded.dropped == 1
+
+
+def test_corrupt_middle_line_is_skipped(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = GenerationJournal.fresh(path)
+    for key in ("k1", "k2", "k3"):
+        _append(journal, key)
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[1] = b"\x00\xff garbage not json \xfe\n"
+    path.write_bytes(b"".join(lines))
+
+    loaded = GenerationJournal.load(path)
+    assert sorted(loaded.records) == ["k1", "k3"]
+    assert loaded.dropped == 1
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"v": JOURNAL_VERSION + 1},       # future format version
+        {"key": 42},                      # key must be a string
+        {"status": "exploded"},           # unknown status
+        {"entry": "not-a-dict"},          # entry must be dict or null
+        {"seconds": "soon"},              # unparseable duration
+    ],
+)
+def test_invalid_lines_are_rejected(mutation):
+    line = {
+        "v": JOURNAL_VERSION, "key": "k", "suite": "s", "name": "n",
+        "flow": "ortho", "status": "done", "entry": None,
+        "seconds": 0.0, "node": "host",
+    }
+    assert _parse_line(json.dumps(line).encode()) is not None
+    line.update(mutation)
+    assert _parse_line(json.dumps(line).encode()) is None
+
+
+def test_append_is_immediately_durable(tmp_path):
+    """Every append must be on disk before it returns — no buffering."""
+    path = tmp_path / "journal.jsonl"
+    journal = GenerationJournal.fresh(path)
+    for i in range(5):
+        _append(journal, f"k{i}")
+        # Re-read through a *different* object, as a resuming process would.
+        assert len(GenerationJournal.load(path)) == i + 1
