@@ -78,6 +78,7 @@ def _cmd_generate(args) -> int:
         node_cap=args.node_cap,
         exact_timeout=args.exact_timeout,
         jobs=args.jobs,
+        exact_jobs=args.exact_jobs,
         use_cache=not args.no_cache,
         profile=args.profile,
         profile_top=args.profile_top,
@@ -121,6 +122,17 @@ def _cmd_generate(args) -> int:
             f"{sched_stats['stolen']} stolen, "
             f"{sched_stats['remote_completed']} remote "
             f"[{sched_stats['mode']}, node {sched_stats['node']}]"
+        )
+    if report.exact_search is not None:
+        ex = report.exact_search
+        print(
+            "exact search: "
+            f"{ex.get('dimensions_explored', 0)} dimensions explored, "
+            f"{ex.get('dimensions_pruned', 0)} pruned, "
+            f"{ex.get('dimensions_killed', 0)} killed, "
+            f"{ex.get('incumbent_updates', 0)} incumbent updates "
+            f"[engine {ex.get('engine', 'sequential')}, "
+            f"jobs {ex.get('jobs', 1)}]"
         )
     print(report.summary())
     return 0
@@ -400,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for flow execution (1: in-process)",
+    )
+    gen.add_argument(
+        "--exact-jobs", type=int, default=1, metavar="N",
+        help="intra-task workers per exact search (portfolio parallel "
+        "engine with a shared incumbent bound; 1: sequential engine); "
+        "clamped against --jobs to avoid oversubscription",
     )
     gen.add_argument(
         "--no-cache", action="store_true",

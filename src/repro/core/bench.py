@@ -52,7 +52,7 @@ from ..optimization.hexagonalization import to_hexagonal
 from ..optimization.input_ordering import InputOrderingParams, input_ordering
 from ..optimization.post_layout import PostLayoutParams, post_layout_optimization
 from ..optimization.wiring_reduction import wiring_reduction
-from ..physical_design.exact import ExactParams, exact_layout
+from ..physical_design.exact import ExactParams, ExactSearchStats, exact_layout
 from ..physical_design.nanoplacer import (
     NanoPlaceRParams,
     NanoPlaceRScaleError,
@@ -150,6 +150,11 @@ class GenerationParams:
     verify_vectors: int = 64
     #: Worker processes for flow execution; 1 runs everything in-process.
     jobs: int = 1
+    #: Intra-task workers for each exact search (portfolio parallel
+    #: engine); 1 keeps the retained sequential engine.  Part of the
+    #: cache key even though results are byte-identical across values —
+    #: the recorded exact-search stats differ.
+    exact_jobs: int = 1
     #: Reuse flow results recorded in the index's flow cache.
     use_cache: bool = True
     #: Profile every executed flow under :mod:`cProfile` and report the
@@ -212,6 +217,9 @@ class GenerationReport:
     wall_seconds: float = 0.0
     #: Scheduler accounting for this sweep (``SchedulerStats.to_json``).
     scheduler: dict | None = None
+    #: Aggregate exact-search accounting across every executed exact
+    #: flow (``ExactSearchStats.to_json`` of the merged counters).
+    exact_search: dict | None = None
 
     @property
     def executed_flows(self) -> int:
@@ -235,6 +243,13 @@ class GenerationReport:
             extras.append(f"{self.cancelled} cancelled as dominated")
         if self.worker_errors:
             extras.append(f"{self.worker_errors} worker errors")
+        if self.exact_search:
+            pruned = self.exact_search.get("dimensions_pruned", 0)
+            killed = self.exact_search.get("dimensions_killed", 0)
+            if pruned or killed:
+                extras.append(
+                    f"{pruned} exact dimensions pruned, {killed} killed"
+                )
         if extras:
             text += "; " + ", ".join(extras)
         return text
@@ -303,11 +318,32 @@ class FlowTaskResult:
     #: Scheduler-recorded failure instead of a computed result:
     #: ``{"status": "timeout"|"memory"|"cancelled"|"error", "reason": str}``.
     failure: dict | None = None
+    #: Merged :class:`ExactSearchStats` (``to_json``) when the flow ran
+    #: at least one exact search; ``None`` otherwise.
+    exact_stats: dict | None = None
 
 
-def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
+def _effective_exact_jobs(params: GenerationParams) -> int:
+    """Intra-task exact workers after the anti-oversubscription clamp.
+
+    ``--exact-jobs`` composes with ``--jobs`` multiplicatively (each of
+    the ``jobs`` flow workers may fork ``exact_jobs`` children), so when
+    both exceed 1 the product is capped at the machine's CPU count.
+    """
+    exact_jobs = max(1, params.exact_jobs)
+    if exact_jobs > 1 and params.jobs > 1:
+        cpus = os.cpu_count() or 1
+        exact_jobs = max(1, min(exact_jobs, cpus // max(1, params.jobs)))
+    return exact_jobs
+
+
+def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams,
+              stats_sink: list | None = None):
     """Produce the raw (layout, algorithm, scheme, opts, runtime) tuples
-    of one named flow; an empty list when the flow yields no layout."""
+    of one named flow; an empty list when the flow yields no layout.
+
+    ``stats_sink`` collects the :class:`ExactSearchStats` of every exact
+    search the flow performs (exact flows append exactly one entry)."""
     if flow == "ortho":
         try:
             result = orthogonal_layout(network)
@@ -361,8 +397,11 @@ def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
                 scheme=scheme,
                 timeout=params.exact_timeout,
                 ratio_timeout=params.exact_ratio_timeout,
+                jobs=_effective_exact_jobs(params),
             ),
         )
+        if stats_sink is not None and result.stats is not None:
+            stats_sink.append(result.stats)
         if result.layout is None:
             return []
         return [(result.layout, "exact", scheme.name, (), result.runtime_seconds)]
@@ -375,8 +414,11 @@ def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
                 timeout=params.exact_timeout,
                 ratio_timeout=params.exact_ratio_timeout,
                 keep_two_input=True,
+                jobs=_effective_exact_jobs(params),
             ),
         )
+        if stats_sink is not None and result.stats is not None:
+            stats_sink.append(result.stats)
         if result.layout is None:
             return []
         return [(result.layout, "exact", "ROW", (), result.runtime_seconds)]
@@ -385,7 +427,9 @@ def _run_flow(network: LogicNetwork, flow: str, params: GenerationParams):
         if base == "exact":
             base = "exact:2DDWave"
         produced = []
-        for layout, algorithm, scheme, opts, runtime in _run_flow(network, base, params):
+        for layout, algorithm, scheme, opts, runtime in _run_flow(
+            network, base, params, stats_sink
+        ):
             if scheme != "2DDWave" or layout.topology is not Topology.CARTESIAN:
                 continue
             hexed = to_hexagonal(layout)
@@ -413,8 +457,9 @@ def _execute_flow_task(task: FlowTask) -> FlowTaskResult:
     network = parse_verilog(task.verilog)
     network.name = task.name
     candidates: list[FlowArtifact] = []
+    exact_stats: list[ExactSearchStats] = []
     for layout, algorithm, scheme, opts, runtime in _run_flow(
-        network, task.flow, task.params
+        network, task.flow, task.params, exact_stats
     ):
         drc, equivalence = verify_layout(
             layout, network, num_vectors=task.params.verify_vectors
@@ -456,7 +501,17 @@ def _execute_flow_task(task: FlowTask) -> FlowTaskResult:
                 num_crossings=layout.num_crossings(),
             )
         )
-    result = FlowTaskResult(task.flow, tuple(candidates), time.monotonic() - started)
+    merged_stats = None
+    if exact_stats:
+        merged_stats = exact_stats[0]
+        for extra in exact_stats[1:]:
+            merged_stats.merge(extra)
+    result = FlowTaskResult(
+        task.flow,
+        tuple(candidates),
+        time.monotonic() - started,
+        exact_stats=merged_stats.to_json() if merged_stats is not None else None,
+    )
     if task.params.reproducible:
         result = _strip_result_runtimes(result)
     return result
@@ -474,7 +529,8 @@ def _strip_result_runtimes(result: FlowTaskResult) -> FlowTaskResult:
         replace(candidate, runtime_seconds=0.0) for candidate in result.candidates
     )
     return FlowTaskResult(
-        result.flow, candidates, 0.0, result.profile_stats, result.failure
+        result.flow, candidates, 0.0, result.profile_stats, result.failure,
+        result.exact_stats,
     )
 
 
@@ -499,7 +555,10 @@ def _profile_flow_task(task: FlowTask) -> FlowTaskResult:
         (i for i, line in enumerate(lines) if line.lstrip().startswith("ncalls")), 0
     )
     table = "\n".join(line for line in lines[table_start:] if line.strip())
-    return FlowTaskResult(result.flow, result.candidates, result.wall_seconds, table)
+    return FlowTaskResult(
+        result.flow, result.candidates, result.wall_seconds, table,
+        result.failure, result.exact_stats,
+    )
 
 
 @dataclass(frozen=True)
@@ -934,12 +993,33 @@ class BenchmarkDatabase:
             if bounds is not None and any(
                 flow.startswith("exact:") or flow == "exact_hex" for flow in flows
             ):
-                from ..physical_design.exact import area_lower_bound
+                # Module attribute access (not a top-level import) so the
+                # early-cancel tests can monkeypatch the bound function.
+                from ..physical_design import exact as _exact_module
 
-                bounds[(spec.suite, spec.name)] = {
-                    "cart": area_lower_bound(network),
-                    "hex": area_lower_bound(network, keep_two_input=True),
+                lower_bound = _exact_module.area_lower_bound
+                # Group-level bounds ("cart"/"hex") are scheme-agnostic;
+                # per-flow entries add the clocking-period-aware bound so
+                # the scheduler cancels dominated exact tasks earlier.
+                entry = {
+                    "cart": lower_bound(network),
+                    "hex": lower_bound(network, keep_two_input=True),
                 }
+                for flow in flows:
+                    if flow.startswith("exact:"):
+                        scheme = next(
+                            s for s in CARTESIAN_SCHEMES
+                            if s.name == flow.split(":", 1)[1]
+                        )
+                        entry[flow] = lower_bound(network, scheme=scheme)
+                    elif flow == "exact_hex":
+                        entry[flow] = lower_bound(
+                            network,
+                            keep_two_input=True,
+                            scheme=ROW,
+                            topology=Topology.HEXAGONAL_EVEN_ROW,
+                        )
+                bounds[(spec.suite, spec.name)] = entry
             for flow in flows:
                 key = self._cache_key(signature, flow, params)
                 slot: list[BenchmarkFile] = []
@@ -1134,6 +1214,13 @@ class BenchmarkDatabase:
             report.flow_seconds[f"{suite}/{name}:{flow}"] = result.wall_seconds
             if result.profile_stats is not None:
                 report.flow_profiles[f"{suite}/{name}:{flow}"] = result.profile_stats
+            if result.exact_stats is not None:
+                if report.exact_search is None:
+                    report.exact_search = dict(result.exact_stats)
+                else:
+                    aggregate = ExactSearchStats.from_json(report.exact_search)
+                    aggregate.merge(result.exact_stats)
+                    report.exact_search = aggregate.to_json()
             self._flow_cache[key] = {
                 "suite": suite,
                 "name": name,

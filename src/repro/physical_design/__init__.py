@@ -2,7 +2,14 @@
 
 from .routing import RoutingOptions, find_path, route, unroute
 from .ortho import OrthoError, OrthoParams, OrthoResult, orthogonal_layout
-from .exact import ExactParams, ExactResult, exact_layout
+from .exact import (
+    ExactParams,
+    ExactResult,
+    ExactSearchStats,
+    area_lower_bound,
+    exact_layout,
+)
+from .parallel import parallel_exact_layout
 from .nanoplacer import (
     NanoPlaceRParams,
     NanoPlaceRResult,
@@ -13,6 +20,7 @@ from .nanoplacer import (
 __all__ = [
     "ExactParams",
     "ExactResult",
+    "ExactSearchStats",
     "NanoPlaceRParams",
     "NanoPlaceRResult",
     "NanoPlaceRScaleError",
@@ -20,10 +28,12 @@ __all__ = [
     "OrthoParams",
     "OrthoResult",
     "RoutingOptions",
+    "area_lower_bound",
     "exact_layout",
     "find_path",
     "nanoplacer_layout",
     "orthogonal_layout",
+    "parallel_exact_layout",
     "route",
     "unroute",
 ]

@@ -39,10 +39,12 @@ behaviour and serves as the benchmark baseline.
 
 from __future__ import annotations
 
+import functools
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
-from ..layout.clocking import ROW, TWODDWAVE, ClockingScheme
+from ..layout.clocking import ROW, TWODDWAVE, ClockingScheme, neighbor_tables
 from ..layout.coordinates import Tile, Topology
 from ..layout.gate_layout import GateLayout
 from ..networks.logic_network import GateType, LogicNetwork
@@ -86,6 +88,55 @@ class ExactParams:
     #: search as a benchmark baseline.
     optimized: bool = True
     routing: RoutingOptions = field(default_factory=lambda: RoutingOptions(crossing_penalty=1))
+    #: Search engine: ``"sequential"`` runs the retained single-process
+    #: engine, ``"parallel"`` the fork-pool portfolio engine
+    #: (:mod:`repro.physical_design.parallel`), and ``"auto"`` picks the
+    #: parallel engine exactly when ``jobs > 1``.
+    engine: str = "auto"
+    #: Worker processes for the parallel engine (1 = sequential).
+    jobs: int = 1
+
+
+@dataclass
+class ExactSearchStats:
+    """Counters describing one exact search run.
+
+    ``dimensions_total`` counts the aspect ratios that survive the area
+    lower bound; ``dimensions_filtered`` the ones additionally removed
+    by the static per-scheme capacity bound (:func:`_ratio_feasible`);
+    ``dimensions_pruned``/``dimensions_killed`` the speculative parallel
+    subtasks cancelled before dispatch / SIGKILLed mid-search once an
+    incumbent dominated them.  ``budget_kills`` counts subtasks that
+    died on the inherited RLIMIT_AS memory budget.
+    """
+
+    engine: str = "sequential"
+    jobs: int = 1
+    dimensions_total: int = 0
+    dimensions_filtered: int = 0
+    dimensions_explored: int = 0
+    dimensions_pruned: int = 0
+    dimensions_killed: int = 0
+    incumbent_updates: int = 0
+    subtask_retries: int = 0
+    subtask_failures: int = 0
+    budget_kills: int = 0
+
+    def to_json(self) -> dict:
+        return dict(vars(self))
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ExactSearchStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def merge(self, other: "ExactSearchStats | dict") -> None:
+        """Accumulate another run's counters (engines/jobs keep ours)."""
+        values = other if isinstance(other, dict) else other.to_json()
+        for key, value in values.items():
+            if key in ("engine", "jobs") or not isinstance(value, int):
+                continue
+            setattr(self, key, getattr(self, key, 0) + value)
 
 
 @dataclass
@@ -96,6 +147,7 @@ class ExactResult:
     runtime_seconds: float
     timed_out: bool
     explored_ratios: int
+    stats: ExactSearchStats | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -106,7 +158,163 @@ class _Timeout(Exception):
     pass
 
 
-def area_lower_bound(network: LogicNetwork, keep_two_input: bool = False) -> int:
+class _Dominated(Exception):
+    """A parallel subtask's ratio is dominated by the shared incumbent."""
+
+
+@dataclass(frozen=True)
+class _NetworkProfile:
+    """Static demand counts of a layout-prepared network.
+
+    Used by the per-scheme capacity bound: every layout must supply at
+    least this many tiles of each capability, whatever the placement.
+    """
+
+    elements: int
+    pis: int
+    pos: int
+    #: Gates with >= 2 non-constant fanins (need 2 distinct incoming
+    #: clocked neighbours — ``_route_fanins`` enforces distinct entries).
+    gates2: int
+    #: Elements that receive at least one connection (gates + POs).
+    sinks: int
+    #: Elements whose signal is read by someone (need an outgoing step).
+    sources: int
+    #: Edges on the longest PI→PO chain of placeable elements.
+    chain: int
+
+
+def _network_profile(ntk: LogicNetwork, elements) -> _NetworkProfile:
+    pis = pos = gates2 = sinks = 0
+    readers: set[int] = set()
+    for kind, payload in elements:
+        if kind == "po":
+            pos += 1
+            sinks += 1
+            readers.add(payload[1])
+        else:
+            node = ntk.node(payload)
+            if node.gate_type is GateType.PI:
+                pis += 1
+            fanins = [f for f in node.fanins if not ntk.is_constant(f)]
+            if len(fanins) >= 2:
+                gates2 += 1
+            if fanins:
+                sinks += 1
+            readers.update(fanins)
+    return _NetworkProfile(
+        elements=len(elements),
+        pis=pis,
+        pos=pos,
+        gates2=gates2,
+        sinks=sinks,
+        sources=len(readers),
+        chain=_longest_chain(ntk),
+    )
+
+
+@dataclass(frozen=True)
+class _RatioCapacity:
+    """Tile-capability counts of one (scheme, topology, w, h) grid."""
+
+    incoming1: int  #: tiles with >= 1 in-grid incoming-clocked neighbour
+    incoming2: int  #: tiles with >= 2 such neighbours
+    outgoing1: int  #: tiles with >= 1 in-grid outgoing-clocked neighbour
+    border: int  #: border tiles
+    border_in1: int  #: border tiles with >= 1 incoming neighbour
+    border_out1: int  #: border tiles with >= 1 outgoing neighbour
+
+
+@functools.lru_cache(maxsize=4096)
+def _ratio_capacity(
+    scheme: ClockingScheme, topology: Topology, width: int, height: int
+) -> _RatioCapacity:
+    tables = neighbor_tables(scheme, topology)
+    px, py = tables.period_x, tables.period_y
+    in1 = in2 = out1 = border = bin1 = bout1 = 0
+    for y in range(height):
+        for x in range(width):
+            incoming = sum(
+                1
+                for dx, dy in tables.incoming[y % py][x % px]
+                if 0 <= x + dx < width and 0 <= y + dy < height
+            )
+            outgoing = sum(
+                1
+                for dx, dy in tables.outgoing[y % py][x % px]
+                if 0 <= x + dx < width and 0 <= y + dy < height
+            )
+            on_border = x in (0, width - 1) or y in (0, height - 1)
+            if incoming >= 1:
+                in1 += 1
+            if incoming >= 2:
+                in2 += 1
+            if outgoing >= 1:
+                out1 += 1
+            if on_border:
+                border += 1
+                if incoming >= 1:
+                    bin1 += 1
+                if outgoing >= 1:
+                    bout1 += 1
+    return _RatioCapacity(in1, in2, out1, border, bin1, bout1)
+
+
+def _ratio_feasible(
+    scheme: ClockingScheme,
+    topology: Topology,
+    width: int,
+    height: int,
+    profile: _NetworkProfile,
+    border_io: bool,
+) -> bool:
+    """Static necessary conditions for a (w, h) layout to exist.
+
+    Clocking-period-aware: a tile can host a 2-fanin gate only if at
+    least two distinct in-grid neighbours are clocked into it (the
+    search routes fanins through distinct entry tiles), can host any
+    sink only with one such neighbour, and can host a read signal only
+    with an outgoing neighbour.  On USE, for example, no tile of a
+    1-wide column has two incoming neighbours, so every ``1 x N`` ratio
+    is refuted without search.  Each condition is sound for the *full*
+    placement space, so filtering ratios through it never changes the
+    search outcome, only skips doomed proofs.
+    """
+    capacity = _ratio_capacity(scheme, topology, width, height)
+    if capacity.incoming2 < profile.gates2:
+        return False
+    if capacity.incoming1 < profile.sinks:
+        return False
+    if capacity.outgoing1 < profile.sources:
+        return False
+    if border_io:
+        if capacity.border < profile.pis + profile.pos:
+            return False
+        if capacity.border_in1 < profile.pos:
+            return False
+        if capacity.border_out1 < profile.pis:
+            return False
+    # Monotone-scheme chain bound: on 2DDWave every fanin connection
+    # strictly increases x + y, on ROW it strictly increases y, so a
+    # ratio whose diagonal (resp. height) cannot accommodate the
+    # longest PI→PO element chain is infeasible without searching.
+    if scheme is TWODDWAVE and topology is Topology.CARTESIAN:
+        if (width - 1) + (height - 1) < profile.chain:
+            return False
+    elif scheme is ROW:
+        if height - 1 < profile.chain:
+            return False
+    return True
+
+
+def area_lower_bound(
+    network: LogicNetwork,
+    keep_two_input: bool = False,
+    scheme: ClockingScheme | None = None,
+    topology: Topology = Topology.CARTESIAN,
+    border_io: bool = True,
+    max_side: int = 12,
+) -> int:
     """Area (tile count) no exact layout of ``network`` can beat.
 
     Every placed element — PI, gate, fanout — of the layout-prepared
@@ -115,11 +323,30 @@ def area_lower_bound(network: LogicNetwork, keep_two_input: bool = False) -> int
     early-cancel exact tasks whose portfolio group already produced a
     layout of this area: the search cannot improve on it.
 
+    With a ``scheme`` the bound is clocking-period-aware: it returns the
+    smallest enumerable area whose grid passes the static per-scheme
+    capacity test (:func:`_ratio_feasible`), which is strictly stronger
+    than the element count on feedback schemes (USE/RES/ESR) whose
+    narrow grids lack tiles with two incoming-clocked neighbours.  When
+    no ratio up to ``max_side`` passes, ``max_side**2`` is returned —
+    the search cannot produce any layout, so nothing can beat that area
+    within the enumerated space.
+
     ``keep_two_input`` must match the flow's preparation (the hexagonal
     Bestagon flow keeps two-input gates, the Cartesian flows do not).
     """
     ntk = prepare_for_layout(decompose_to_aoig(network, keep_two_input))
-    return len(_search_order(ntk))
+    elements = _search_order(ntk)
+    if scheme is None or not scheme.regular:
+        return len(elements)
+    profile = _network_profile(ntk, elements)
+    params = ExactParams(scheme=scheme, topology=topology, max_side=max_side)
+    for width, height in _aspect_ratios(params, len(elements)):
+        if _ratio_feasible(scheme, topology, width, height, profile, border_io):
+            return width * height
+    # Nothing up to max_side passes — networks this large still cannot
+    # beat the element count, so never report a weaker bound than it.
+    return max(len(elements), max_side * max_side)
 
 
 def exact_layout(network: LogicNetwork, params: ExactParams | None = None) -> ExactResult:
@@ -128,34 +355,66 @@ def exact_layout(network: LogicNetwork, params: ExactParams | None = None) -> Ex
     Returns a result with ``layout=None`` when the search space is
     exhausted without success or the timeout strikes first (callers —
     e.g. the best-layout portfolio — treat both as "exact unavailable").
+
+    ``params.engine`` selects the sequential engine or the fork-pool
+    parallel portfolio engine; both return byte-identical layouts when
+    no timeout strikes (see :mod:`repro.physical_design.parallel`).
     """
     params = params or ExactParams()
+    if params.engine not in ("auto", "sequential", "parallel"):
+        raise ValueError(
+            f"unknown exact engine {params.engine!r}; "
+            "expected 'auto', 'sequential' or 'parallel'"
+        )
+    if params.engine == "parallel" or (params.engine == "auto" and params.jobs > 1):
+        from .parallel import parallel_exact_layout
+
+        return parallel_exact_layout(network, params)
+    return _sequential_exact_layout(network, params)
+
+
+def _prepare_search(network: LogicNetwork, params: ExactParams):
+    """Shared preparation: prepared network, element order, ratio list.
+
+    Returns ``(ntk, elements, ratios, filtered)`` where ``ratios`` is
+    the canonical ascending-area dimension list both engines walk and
+    ``filtered`` counts ratios removed by the static per-scheme bound.
+    """
+    ntk = prepare_for_layout(decompose_to_aoig(network, params.keep_two_input))
+    elements = _search_order(ntk)
+    ratios = _aspect_ratios(params, len(elements))
+    filtered = 0
+    if params.optimized and params.scheme.regular:
+        profile = _network_profile(ntk, elements)
+        kept = [
+            (w, h)
+            for w, h in ratios
+            if _ratio_feasible(params.scheme, params.topology, w, h, profile, params.border_io)
+        ]
+        filtered = len(ratios) - len(kept)
+        ratios = kept
+    return ntk, elements, ratios, filtered
+
+
+def _sequential_exact_layout(network: LogicNetwork, params: ExactParams) -> ExactResult:
+    """The retained single-process engine (``ExactParams(engine="sequential")``)."""
     started = time.monotonic()
     deadline = started + params.timeout
 
-    ntk = prepare_for_layout(decompose_to_aoig(network, params.keep_two_input))
-    elements = _search_order(ntk)
-    lower_bound = len(elements)
+    ntk, elements, ratios, filtered = _prepare_search(network, params)
+    stats = ExactSearchStats(
+        engine="sequential",
+        jobs=1,
+        dimensions_total=len(ratios) + filtered,
+        dimensions_filtered=filtered,
+    )
 
-    ratios = _aspect_ratios(params, lower_bound)
-    if params.optimized:
-        # Monotone-scheme chain bound: on 2DDWave every fanin connection
-        # strictly increases x + y, on ROW it strictly increases y, so a
-        # ratio whose diagonal (resp. height) cannot accommodate the
-        # longest PI→PO element chain is infeasible without searching.
-        chain = _longest_chain(ntk)
-        if params.scheme is TWODDWAVE and params.topology is Topology.CARTESIAN:
-            ratios = [(w, h) for w, h in ratios if (w - 1) + (h - 1) >= chain]
-        elif params.scheme is ROW:
-            ratios = [(w, h) for w, h in ratios if h - 1 >= chain]
-
-    explored = 0
     timed_out = False
     for width, height in ratios:
         if time.monotonic() > deadline:
             timed_out = True
             break
-        explored += 1
+        stats.dimensions_explored += 1
         ratio_deadline = deadline
         if params.ratio_timeout is not None:
             ratio_deadline = min(deadline, time.monotonic() + params.ratio_timeout)
@@ -165,13 +424,19 @@ def exact_layout(network: LogicNetwork, params: ExactParams | None = None) -> Ex
             if searcher.search(0):
                 layout.end_journal()
                 layout.shrink_to_fit()
-                return ExactResult(layout, time.monotonic() - started, False, explored)
+                stats.incumbent_updates = 1
+                return ExactResult(
+                    layout, time.monotonic() - started, False,
+                    stats.dimensions_explored, stats,
+                )
         except _Timeout:
             if time.monotonic() > deadline:
                 timed_out = True
                 break
             continue
-    return ExactResult(None, time.monotonic() - started, timed_out, explored)
+    return ExactResult(
+        None, time.monotonic() - started, timed_out, stats.dimensions_explored, stats
+    )
 
 
 def _aspect_ratios(params: ExactParams, lower_bound: int):
@@ -239,12 +504,30 @@ def _search_order(ntk: LogicNetwork):
 class _Searcher:
     """Depth-first placement with backtracking for one aspect ratio."""
 
-    def __init__(self, ntk, elements, layout: GateLayout, params: ExactParams, deadline: float):
+    def __init__(
+        self,
+        ntk,
+        elements,
+        layout: GateLayout,
+        params: ExactParams,
+        deadline: float,
+        *,
+        incumbent=None,
+        ratio_index: int = 0,
+        parent_pid: int | None = None,
+    ):
         self.ntk = ntk
         self.elements = elements
         self.layout = layout
         self.params = params
         self.deadline = deadline
+        #: Shared-memory incumbent (multiprocessing.Value holding the
+        #: best feasible canonical ratio index).  Polled alongside the
+        #: deadline so a parallel subtask aborts the moment a smaller
+        #: ratio proves feasible anywhere in the pool.
+        self._incumbent = incumbent
+        self._ratio_index = ratio_index
+        self._parent_pid = parent_pid
         self.position: dict[int, Tile] = {}
         self.optimized = params.optimized and layout.scheme.regular
         self.routing = RoutingOptions(
@@ -331,8 +614,18 @@ class _Searcher:
 
     def _check_time(self) -> None:
         self._tick += 1
-        if self._tick % 64 == 0 and time.monotonic() > self.deadline:
-            raise _Timeout
+        if self._tick % 64 == 0:
+            if time.monotonic() > self.deadline:
+                raise _Timeout
+            incumbent = self._incumbent
+            if incumbent is not None:
+                if incumbent.value < self._ratio_index:
+                    raise _Dominated
+                if self._parent_pid is not None and self._tick % 4096 == 0:
+                    # Orphan guard: the scheduler may SIGKILL the parent
+                    # flow worker mid-search; exit rather than spin on.
+                    if os.getppid() != self._parent_pid:
+                        os._exit(1)
 
     def _free_tiles_needed(self, depth: int) -> bool:
         """Prune: every unplaced element needs at least one free tile."""

@@ -17,6 +17,7 @@ from .config import (
     DIFF_ANALYTICS,
     DIFF_ENGINES,
     DIFF_EXACT,
+    DIFF_EXACT_PARALLEL,
     DIFF_PLO,
     DIFF_SERVE,
     EXACT_SCHEMES,
@@ -38,6 +39,7 @@ from .oracles import (
     check_analytics_agreement,
     check_engine_agreement,
     check_exact_baseline,
+    check_exact_parallel,
     check_plo_agreement,
     check_serve_agreement,
     run_oracle_stack,
@@ -51,6 +53,7 @@ __all__ = [
     "DIFF_ANALYTICS",
     "DIFF_ENGINES",
     "DIFF_EXACT",
+    "DIFF_EXACT_PARALLEL",
     "DIFF_PLO",
     "DIFF_SERVE",
     "EXACT_SCHEMES",
@@ -72,6 +75,7 @@ __all__ = [
     "check_analytics_agreement",
     "check_engine_agreement",
     "check_exact_baseline",
+    "check_exact_parallel",
     "check_plo_agreement",
     "check_serve_agreement",
     "fuzz",

@@ -48,6 +48,7 @@ DIFF_EXACT = "exact-baseline"  # optimized vs. baseline exact search
 DIFF_PLO = "optimization"  # incremental vs. reference post-layout optimization
 DIFF_ANALYTICS = "analytics"  # columnar vs. per-artifact metrics/DRC/signature
 DIFF_SERVE = "serve"  # HTTP endpoints vs. in-process serving API
+DIFF_EXACT_PARALLEL = "exact-parallel"  # parallel vs. sequential exact engine
 
 
 class FlowSkipped(Exception):
@@ -81,6 +82,8 @@ class FlowConfig:
     #: Seed for stochastic algorithms (NanoPlaceR rollouts).
     algorithm_seed: int = 0
     exact_timeout: float = 4.0
+    #: Intra-search workers for the exact engine (1: sequential).
+    exact_jobs: int = 1
 
     def describe(self) -> str:
         opts = "+".join(self.optimizations) if self.optimizations else "-"
@@ -104,6 +107,7 @@ class FlowConfig:
             "differential": self.differential,
             "algorithm_seed": self.algorithm_seed,
             "exact_timeout": self.exact_timeout,
+            "exact_jobs": self.exact_jobs,
         }
 
     @staticmethod
@@ -121,6 +125,7 @@ class FlowConfig:
             differential=record.get("differential"),
             algorithm_seed=record.get("algorithm_seed", 0),
             exact_timeout=record.get("exact_timeout", 4.0),
+            exact_jobs=record.get("exact_jobs", 1),
         )
 
     # -- execution ----------------------------------------------------------
@@ -165,6 +170,7 @@ class FlowConfig:
                 timeout=self.exact_timeout,
                 optimized=self.exact_optimized,
                 routing=self._routing(crossing_penalty=1),
+                jobs=self.exact_jobs,
             )
             result = exact_layout(network, params)
             if result.layout is None:
@@ -242,6 +248,8 @@ def _sample_exact(rng: random.Random) -> FlowConfig:
             differential = DIFF_ANALYTICS
         elif roll < 0.30:
             differential = DIFF_SERVE
+        elif roll < 0.40:
+            differential = DIFF_EXACT_PARALLEL
     optimizations: tuple[str, ...] = ()
     library = "Bestagon" if hexagonal else "QCA ONE"
     if not hexagonal and scheme == "2DDWave" and rng.random() < 0.25:

@@ -92,6 +92,10 @@ class SchedulerStats:
     journal_dropped_lines: int = 0
     #: Aggregate wall seconds per flow name ("ortho", "exact:USE", ...).
     flow_seconds: dict[str, float] = field(default_factory=dict)
+    #: Merged exact-search counters across every exact task this node
+    #: merged (``ExactSearchStats.to_json``); ``None`` when no exact
+    #: flow ran.
+    exact_search: dict | None = None
     wall_seconds: float = 0.0
     mode: str = "inline"
     node: str = ""
@@ -119,6 +123,7 @@ class SchedulerStats:
             "worker_deaths": self.worker_deaths,
             "journal_dropped_lines": self.journal_dropped_lines,
             "flow_seconds": dict(self.flow_seconds),
+            "exact_search": self.exact_search,
             "wall_seconds": self.wall_seconds,
             "mode": self.mode,
             "node": self.node,
@@ -251,6 +256,15 @@ class _Merger:
         self.stats.flow_seconds[task.flow] = (
             self.stats.flow_seconds.get(task.flow, 0.0) + result.wall_seconds
         )
+        if result.exact_stats is not None:
+            if self.stats.exact_search is None:
+                self.stats.exact_search = dict(result.exact_stats)
+            else:
+                aggregate = _bench.ExactSearchStats.from_json(
+                    self.stats.exact_search
+                )
+                aggregate.merge(result.exact_stats)
+                self.stats.exact_search = aggregate.to_json()
 
     def _note_area(self, suite: str, name: str, library: str | None,
                    area: int | None) -> None:
@@ -306,7 +320,10 @@ class _Run:
         group = _exact_group(task.flow)
         if group is None:
             return None
-        bound = self.bounds.get((task.suite, task.name), {}).get(group)
+        entry = self.bounds.get((task.suite, task.name), {})
+        # Per-flow entries carry the clocking-period-aware bound, which
+        # is never smaller than the scheme-agnostic group bound.
+        bound = entry.get(task.flow, entry.get(group))
         if bound is None:
             return None
         best = self.merger.best_areas.get((task.suite, task.name, group))

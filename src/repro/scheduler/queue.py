@@ -49,6 +49,7 @@ def result_to_json(result: FlowTaskResult, executed_by: str) -> dict:
         "wall_seconds": result.wall_seconds,
         "profile_stats": result.profile_stats,
         "failure": result.failure,
+        "exact_stats": result.exact_stats,
         "candidates": [asdict(candidate) for candidate in result.candidates],
     }
 
@@ -66,6 +67,7 @@ def result_from_json(data: dict) -> FlowTaskResult:
         wall_seconds=float(data.get("wall_seconds", 0.0)),
         profile_stats=data.get("profile_stats"),
         failure=data.get("failure"),
+        exact_stats=data.get("exact_stats"),
     )
 
 

@@ -1,0 +1,92 @@
+"""`--exact-jobs` integration: cache key, determinism, stats plumbing.
+
+The parallel exact engine must be invisible in the database bytes (the
+layouts are byte-identical to the sequential engine for any worker
+count) while being visible in the observability surfaces (cache key,
+``GenerationReport.exact_search``, ``generation_stats.json`` behind
+``/v1/stats``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchsuite import get_benchmark
+from repro.core import BenchmarkDatabase
+import repro.core.bench as bench_module
+from repro.core.bench import GenerationParams, _effective_exact_jobs
+from repro.layout.clocking import ESR, TWODDWAVE
+
+
+def _exact_params(**overrides) -> GenerationParams:
+    fields = dict(
+        exact_max_elements=64,
+        nanoplacer_max_gates=0,
+        node_cap=60,
+        reproducible=True,
+        exact_timeout=30.0,
+        exact_ratio_timeout=None,
+    )
+    fields.update(overrides)
+    return GenerationParams(**fields)
+
+
+def test_exact_jobs_is_part_of_the_cache_key():
+    assert GenerationParams().cache_fields()["exact_jobs"] == 1
+    assert (
+        GenerationParams(exact_jobs=2).cache_fields()
+        != GenerationParams().cache_fields()
+    )
+
+
+def test_effective_exact_jobs_avoids_oversubscription():
+    assert _effective_exact_jobs(GenerationParams(exact_jobs=4)) == 4
+    assert _effective_exact_jobs(GenerationParams(exact_jobs=0)) == 1
+    # jobs × exact_jobs is clamped to the CPU count when both exceed 1.
+    clamped = _effective_exact_jobs(GenerationParams(jobs=64, exact_jobs=4))
+    assert clamped == 1
+
+
+def test_generate_is_byte_identical_across_exact_jobs(tmp_path, monkeypatch):
+    # Two schemes keep the sweep fast while still exercising a diagonal
+    # and a 4×4-matrix clocking in the portfolio.
+    monkeypatch.setattr(bench_module, "CARTESIAN_SCHEMES", (TWODDWAVE, ESR))
+    spec = get_benchmark("trindade16", "mux21")
+    artifacts_by_jobs = {}
+    reports = {}
+    for exact_jobs in (1, 2, 4):
+        db = BenchmarkDatabase(tmp_path / f"db{exact_jobs}")
+        outcome = db.generate(
+            [spec],
+            libraries=("QCA ONE",),
+            params=_exact_params(exact_jobs=exact_jobs),
+        )
+        artifacts_by_jobs[exact_jobs] = {
+            record.path: db.artifact_text(record) for record in outcome
+        }
+        reports[exact_jobs] = outcome.report
+    assert artifacts_by_jobs[2] == artifacts_by_jobs[1]
+    assert artifacts_by_jobs[4] == artifacts_by_jobs[1]
+    assert reports[1].exact_search["engine"] == "sequential"
+    for exact_jobs in (2, 4):
+        stats = reports[exact_jobs].exact_search
+        assert stats["engine"] == "parallel"
+        assert stats["jobs"] == exact_jobs
+        assert stats["incumbent_updates"] >= 1
+
+
+def test_exact_stats_reach_the_stats_file(tmp_path, monkeypatch):
+    monkeypatch.setattr(bench_module, "CARTESIAN_SCHEMES", (TWODDWAVE,))
+    db = BenchmarkDatabase(tmp_path / "db")
+    outcome = db.generate(
+        [get_benchmark("trindade16", "mux21")],
+        libraries=("QCA ONE",),
+        params=_exact_params(exact_jobs=2),
+    )
+    assert outcome.report.exact_search["dimensions_explored"] >= 1
+    payload = json.loads(
+        (tmp_path / "db" / "generation_stats.json").read_text(encoding="utf-8")
+    )
+    # The scheduler stats file is what /v1/stats serves verbatim.
+    assert payload["exact_search"]["engine"] == "parallel"
+    assert payload["exact_search"]["dimensions_explored"] >= 1

@@ -1,0 +1,140 @@
+"""Determinism and fault-tolerance tests for the parallel exact engine.
+
+The portfolio engine's contract is strict: for any worker count the
+returned layout is the *same layout* the sequential engine finds, down
+to the serialized ``.fgl`` bytes — even when workers are SIGKILLed
+mid-search and the bounded retry path kicks in.
+"""
+
+import pytest
+
+from repro.io.fgl import layout_to_fgl
+from repro.layout import ESR, RES, TWODDWAVE, USE
+from repro.networks.library import mux21, xor2
+from repro.physical_design import ExactParams, exact_layout
+from repro.physical_design.exact import ExactSearchStats
+from repro.physical_design.parallel import parallel_exact_layout
+
+
+def _params(scheme=TWODDWAVE, **kwargs):
+    kwargs.setdefault("scheme", scheme)
+    kwargs.setdefault("timeout", 60.0)
+    kwargs.setdefault("ratio_timeout", None)
+    return ExactParams(**kwargs)
+
+
+class TestByteIdenticalAcrossJobs:
+    def test_mux21_2ddwave_jobs_1_2_4(self):
+        reference = exact_layout(mux21(), _params(engine="sequential"))
+        assert reference.succeeded
+        expected = layout_to_fgl(reference.layout)
+        for jobs in (1, 2, 4):
+            result = exact_layout(mux21(), _params(engine="parallel", jobs=jobs))
+            assert result.succeeded
+            assert result.layout.area() == reference.layout.area()
+            assert layout_to_fgl(result.layout) == expected, f"jobs={jobs}"
+
+    def test_mux21_esr_jobs_2(self):
+        reference = exact_layout(mux21(), _params(scheme=ESR, engine="sequential"))
+        assert reference.succeeded
+        result = exact_layout(mux21(), _params(scheme=ESR, engine="parallel", jobs=2))
+        assert result.succeeded
+        assert layout_to_fgl(result.layout) == layout_to_fgl(reference.layout)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("scheme", [USE, RES], ids=lambda s: s.name)
+    def test_use_res_xor2_jobs_4(self, scheme):
+        reference = exact_layout(xor2(), _params(scheme=scheme, engine="sequential"))
+        assert reference.succeeded
+        result = exact_layout(
+            xor2(), _params(scheme=scheme, engine="parallel", jobs=4)
+        )
+        assert result.succeeded
+        assert layout_to_fgl(result.layout) == layout_to_fgl(reference.layout)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_search_is_retried_and_byte_identical(self):
+        reference = exact_layout(mux21(), _params(engine="sequential"))
+        assert reference.succeeded
+        # Kill the workers handling the first two dispatched dimensions
+        # the moment they receive them; the engine must re-dispatch each
+        # killed dimension once and still return the sequential layout.
+        result = parallel_exact_layout(
+            mux21(), _params(jobs=2), _kill_once=(0, 1)
+        )
+        assert result.succeeded
+        assert layout_to_fgl(result.layout) == layout_to_fgl(reference.layout)
+        assert result.stats.subtask_retries == 2
+        assert result.stats.subtask_failures == 0
+
+    def test_repeated_deaths_exhaust_retries_without_hanging(self):
+        # A dimension whose worker dies past the retry budget is marked
+        # failed; the search still terminates and later dimensions win.
+        reference = exact_layout(mux21(), _params(engine="sequential"))
+        result = parallel_exact_layout(
+            mux21(), _params(jobs=2), _kill_once=(0,), max_retries=0
+        )
+        assert result.succeeded
+        assert result.stats.subtask_failures == 1
+        # Dimension 0 is infeasible for mux21 anyway (too skinny), so
+        # the winner — and the bytes — are unchanged.
+        assert layout_to_fgl(result.layout) == layout_to_fgl(reference.layout)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            exact_layout(mux21(), _params(engine="warp"))
+
+    def test_jobs_1_uses_sequential_path(self):
+        result = exact_layout(mux21(), _params(engine="parallel", jobs=1))
+        assert result.succeeded
+        assert result.stats.engine == "sequential"
+
+    def test_auto_with_jobs_selects_parallel(self):
+        result = exact_layout(mux21(), _params(engine="auto", jobs=2))
+        assert result.succeeded
+        assert result.stats.engine == "parallel"
+        assert result.stats.jobs == 2
+
+
+class TestStats:
+    def test_parallel_stats_account_for_every_dimension(self):
+        result = exact_layout(mux21(), _params(engine="parallel", jobs=2))
+        stats = result.stats
+        assert stats.engine == "parallel"
+        assert stats.incumbent_updates >= 1
+        assert stats.dimensions_explored >= 1
+        # Ratios past the winner are never dispatched once the incumbent
+        # resolves — the portfolio must prune, not exhaust, the sweep.
+        assert stats.dimensions_pruned >= 1
+        accounted = (
+            stats.dimensions_explored
+            + stats.dimensions_pruned
+            + stats.dimensions_filtered
+        )
+        assert accounted >= stats.dimensions_total - stats.dimensions_killed
+
+    def test_sequential_stats_populated(self):
+        result = exact_layout(mux21(), _params(engine="sequential"))
+        stats = result.stats
+        assert stats.engine == "sequential"
+        assert stats.jobs == 1
+        assert stats.dimensions_explored == result.explored_ratios
+        assert stats.incumbent_updates == 1
+
+    def test_stats_json_roundtrip_and_merge(self):
+        stats = ExactSearchStats(
+            engine="parallel", jobs=4, dimensions_total=7, dimensions_explored=3
+        )
+        restored = ExactSearchStats.from_json(stats.to_json())
+        assert restored == stats
+        # Unknown keys from newer writers are ignored, not fatal.
+        tolerant = ExactSearchStats.from_json({**stats.to_json(), "novel": 1})
+        assert tolerant == stats
+        merged = ExactSearchStats(engine="parallel", jobs=4)
+        merged.merge(stats)
+        merged.merge(stats.to_json())
+        assert merged.dimensions_total == 14
+        assert merged.engine == "parallel" and merged.jobs == 4

@@ -45,7 +45,7 @@ def test_dominated_exact_tasks_are_cancelled(tmp_path, monkeypatch):
 
     monkeypatch.setattr(
         exact_module, "area_lower_bound",
-        lambda network, keep_two_input=False: 10**9,
+        lambda network, keep_two_input=False, **kwargs: 10**9,
     )
 
     db = BenchmarkDatabase(tmp_path / "db")
