@@ -71,12 +71,78 @@ def _specs_from(args):
     return [s for s in all_benchmarks() if s.suite in ("trindade16", "fontes18")]
 
 
+def _format_eta(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class _GenerateProgress:
+    """Periodic ``done/total`` + ETA line for ``mnt-bench generate``.
+
+    Plugs into :class:`~repro.scheduler.SchedulerParams.progress`: called
+    when a task starts (with its label) and after every merge.  On a TTY
+    the line is rewritten in place; otherwise one line is printed per
+    progress step, throttled to one every few seconds so piped logs stay
+    readable.
+    """
+
+    def __init__(self, stream=None) -> None:
+        from time import monotonic
+
+        self._clock = monotonic
+        self.stream = stream if stream is not None else sys.stderr
+        self.tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.min_interval = 0.2 if self.tty else 5.0
+        self.started = self._clock()
+        self._last_emit = float("-inf")
+        self._last_width = 0
+        self._current: str | None = None
+
+    def __call__(self, stats, label) -> None:
+        if label is not None:
+            self._current = label
+        now = self._clock()
+        total = stats.queued
+        finished = (stats.done + stats.failed + stats.resumed
+                    + stats.cancelled + stats.remote_completed)
+        complete = total > 0 and finished >= total
+        if not complete and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        executed = finished - stats.resumed
+        eta = ""
+        if 0 < executed and finished < total:
+            remaining = (total - finished) * ((now - self.started) / executed)
+            eta = f" eta {_format_eta(remaining)}"
+        line = f"generate [{finished}/{total}]{eta}"
+        if self._current is not None and not complete:
+            line += f" {self._current}"
+        if self.tty:
+            padding = " " * max(0, self._last_width - len(line))
+            self.stream.write("\r" + line + padding)
+            self._last_width = len(line)
+            if complete:
+                self.stream.write("\n")
+                self._last_width = 0
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
 def _cmd_generate(args) -> int:
     db = BenchmarkDatabase(args.database)
     specs = _specs_from(args)
     params = GenerationParams(
-        node_cap=args.node_cap,
+        node_cap=args.node_cap if args.node_cap > 0 else None,
         exact_timeout=args.exact_timeout,
+        inord_evaluations=args.inord_evaluations,
+        inord_timeout=args.inord_timeout,
+        plo_passes=args.plo_passes,
+        plo_timeout=args.plo_timeout,
         jobs=args.jobs,
         exact_jobs=args.exact_jobs,
         use_cache=not args.no_cache,
@@ -94,6 +160,7 @@ def _cmd_generate(args) -> int:
         max_tasks_per_worker=args.max_tasks_per_worker,
         early_cancel=args.early_cancel,
         node_id=args.node_id,
+        progress=None if args.quiet else _GenerateProgress(),
     )
     libraries = tuple(args.library) if args.library else ("QCA ONE", "Bestagon")
     created = db.generate(specs, libraries=libraries, params=params,
@@ -395,8 +462,25 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--suite", action="append")
     gen.add_argument("--benchmark", action="append", metavar="SUITE/NAME")
     gen.add_argument("--library", action="append", choices=["QCA ONE", "Bestagon"])
-    gen.add_argument("--node-cap", type=int, default=300)
+    gen.add_argument(
+        "--node-cap", type=int, default=300,
+        help="node cap for synthetic circuits; 0 lifts the cap "
+        "(full published sizes, the ISCAS85/EPFL sweep)",
+    )
     gen.add_argument("--exact-timeout", type=float, default=6.0)
+    gen.add_argument(
+        "--inord-evaluations", type=int, default=6, metavar="N",
+        help="input orderings evaluated by the ortho_opt flow; pin this "
+        "(with an un-hittable --inord-timeout) for reproducible sweeps",
+    )
+    gen.add_argument("--inord-timeout", type=float, default=20.0,
+                     metavar="SECONDS")
+    gen.add_argument(
+        "--plo-passes", type=int, default=8, metavar="N",
+        help="post-layout-optimization passes in the ortho_opt flow",
+    )
+    gen.add_argument("--plo-timeout", type=float, default=20.0,
+                     metavar="SECONDS")
     gen.add_argument(
         "--profile",
         action="store_true",
@@ -462,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--node-id", metavar="ID",
         help="stable scheduler identity in journal/queue files "
         "(default: hostname-pid)",
+    )
+    gen.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the done/total progress line on stderr",
     )
 
     opt = sub.add_parser(

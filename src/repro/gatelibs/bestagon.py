@@ -91,10 +91,60 @@ def hex_port(tile: Tile, neighbor: Tile) -> str:
     return name
 
 
-def apply_bestagon(layout: GateLayout) -> SiDBLayout:
-    """Compile a hexagonal gate-level layout into a schematic SiDB layout."""
+def apply_bestagon(layout: GateLayout, engine: str = "blocks") -> SiDBLayout:
+    """Compile a hexagonal gate-level layout into a schematic SiDB layout.
+
+    The default ``"blocks"`` engine memoizes the dot pattern of each
+    (gate type, used-port set) tile shape once and stamps it per
+    occupied tile with a single set-update — dot emission scales with
+    occupied tiles and distinct shapes.  The ``"reference"`` engine is
+    the retained per-tile emission; both produce identical layouts.
+    """
     if layout.topology is not Topology.HEXAGONAL_EVEN_ROW:
         raise BestagonError("Bestagon targets hexagonal layouts; hexagonalize first")
+    if engine == "reference":
+        return _apply_reference(layout)
+    if engine != "blocks":
+        raise ValueError(f"unknown Bestagon engine {engine!r}")
+    sidb = SiDBLayout(name=layout.name)
+    dots = sidb.dots
+    templates: dict[tuple, tuple] = {}
+    for tile, gate in layout.tiles():
+        gate_type = gate.gate_type
+        if gate_type not in SUPPORTED_GATES:
+            raise BestagonError(f"Bestagon has no tile for {gate_type.value}")
+        if tile.z == 1:
+            continue  # crossings share the ground tile's hexagon
+        used_ports: list[str] = []
+        for fanin in gate.fanins:
+            used_ports.append(hex_port(tile, fanin.ground))
+        for reader in layout.readers(tile):
+            if reader.ground != tile.ground:
+                used_ports.append(hex_port(tile, reader.ground))
+        above = layout.get(tile.above)
+        if above is not None:
+            used_ports.append(hex_port(tile, above.fanins[0].ground))
+            for reader in layout.readers(tile.above):
+                if reader.ground != tile.ground:
+                    used_ports.append(hex_port(tile, reader.ground))
+        key = (gate_type, frozenset(used_ports))
+        offsets = templates.get(key)
+        if offsets is None:
+            offsets = _tile_dot_offsets(gate_type, used_ports)
+            templates[key] = offsets
+        base_n, base_m = _tile_origin(tile)
+        dots.update((base_n + dn, base_m + dm, l) for dn, dm, l in offsets)
+        if gate_type is GateType.PI:
+            label_key = (base_n + _PORTS["NW"][0], base_m + _PORTS["NW"][1], 0)
+            sidb.input_labels[label_key] = gate.name or "pi"
+        elif gate_type is GateType.PO:
+            label_key = (base_n + _PORTS["SE"][0], base_m + _PORTS["SE"][1], 0)
+            sidb.output_labels[label_key] = gate.name or "po"
+    return sidb
+
+
+def _apply_reference(layout: GateLayout) -> SiDBLayout:
+    """Per-tile dot emission — the retained reference oracle."""
     sidb = SiDBLayout(name=layout.name)
     for tile, gate in layout.tiles():
         if gate.gate_type not in SUPPORTED_GATES:
@@ -105,6 +155,33 @@ def apply_bestagon(layout: GateLayout) -> SiDBLayout:
             continue  # crossings share the ground tile's hexagon
         _emit_tile(sidb, layout, tile, gate)
     return sidb
+
+
+def _tile_dot_offsets(gate_type: GateType, used_ports: list[str]) -> tuple:
+    """Dot offsets of one tile shape, relative to its origin.
+
+    Mirrors :func:`_emit_tile`'s emission (port BDL pairs, spine chain,
+    PI/PO label dot) as pure offsets so the ``"blocks"`` engine can
+    stamp the shape anywhere by translation.
+    """
+    offsets: set[tuple[int, int, int]] = set()
+    for port in used_ports:
+        dn, dm = _PORTS.get(port, _PORTS["NW"])
+        offsets.add((dn, dm, 0))
+        offsets.add((dn + 2, dm, 1))
+    budget = _BODY_DOTS.get(gate_type, 16)
+    spine_n = TILE_WIDTH // 2
+    for i in range(budget // 2):
+        m = 4 + i * max(2, (TILE_HEIGHT - 8) // max(1, budget // 2))
+        if m >= TILE_HEIGHT - 2:
+            break
+        offsets.add((spine_n, m, 0))
+        offsets.add((spine_n + 2, m, 1))
+    if gate_type is GateType.PI:
+        offsets.add((_PORTS["NW"][0], _PORTS["NW"][1], 0))
+    elif gate_type is GateType.PO:
+        offsets.add((_PORTS["SE"][0], _PORTS["SE"][1], 0))
+    return tuple(offsets)
 
 
 def _tile_origin(tile: Tile) -> tuple[int, int]:

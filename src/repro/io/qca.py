@@ -26,8 +26,58 @@ _FUNCTION = {
 }
 
 
-def cell_layout_to_qca(layout: QCACellLayout) -> str:
-    """Serialise a QCA cell layout in QCADesigner file syntax."""
+def cell_layout_to_qca(layout: QCACellLayout, engine: str = "stream") -> str:
+    """Serialise a QCA cell layout in QCADesigner file syntax.
+
+    The default ``"stream"`` engine groups cells by layer in one pass
+    and sorts each layer's cells once — O(C log C) total — with the
+    constant per-cell option lines precomputed.  The ``"reference"``
+    engine is the retained original (which re-sorts the full cell dict
+    once *per layer*); both emit byte-identical files, which the
+    differential tests and the scalability bench oracle assert.
+    """
+    if engine == "reference":
+        return _to_qca_reference(layout)
+    if engine != "stream":
+        raise ValueError(f"unknown .qca writer engine {engine!r}")
+    by_layer: dict[int, list] = {}
+    for key, cell in layout.cells.items():
+        by_layer.setdefault(key[2], []).append((key, cell))
+    size_lines = (
+        f"cell_options.cxCell={CELL_PITCH_NM:.6f}\n"
+        f"cell_options.cyCell={CELL_PITCH_NM:.6f}\n"
+        f"cell_options.dot_diameter={CELL_PITCH_NM / 4:.6f}\n"
+    )
+    parts: list[str] = [
+        "[VERSION]\nqcadesigner_version=2.000000\n[#VERSION]\n[TYPE:DESIGN]\n"
+    ]
+    for layer in sorted(by_layer):
+        parts.append(f"[TYPE:QCADLayer]\ntype=1\nstatus=0\npszDescription=layer {layer}\n")
+        for (x, y, _), cell in sorted(by_layer[layer]):
+            cell_type = cell.cell_type
+            mode = (
+                "QCAD_CELL_MODE_CROSSOVER"
+                if cell_type is QCACellType.ROTATED or layer > 0
+                else "QCAD_CELL_MODE_NORMAL"
+            )
+            parts.append("[TYPE:QCADCell]\n")
+            parts.append(size_lines)
+            parts.append(f"cell_options.mode={mode}\ncell_function={_FUNCTION[cell_type]}\n")
+            if cell_type is QCACellType.FIXED_0:
+                parts.append("cell_options.polarization=-1.000000\n")
+            elif cell_type is QCACellType.FIXED_1:
+                parts.append("cell_options.polarization=1.000000\n")
+            parts.append(f"x={x * CELL_PITCH_NM:.6f}\ny={y * CELL_PITCH_NM:.6f}\n")
+            if cell.label:
+                parts.append(f"[TYPE:QCADLabel]\npsz={cell.label}\n[#TYPE:QCADLabel]\n")
+            parts.append("[#TYPE:QCADCell]\n")
+        parts.append("[#TYPE:QCADLayer]\n")
+    parts.append("[#TYPE:DESIGN]\n")
+    return "".join(parts)
+
+
+def _to_qca_reference(layout: QCACellLayout) -> str:
+    """The retained original writer — the byte-equality oracle."""
     lines: list[str] = []
     lines.append("[VERSION]")
     lines.append("qcadesigner_version=2.000000")

@@ -16,8 +16,65 @@ from xml.dom import minidom
 from ..celllayout.cell_layout import SiDBLayout
 
 
-def sidb_layout_to_sqd(layout: SiDBLayout) -> str:
-    """Serialise an SiDB layout in SiQAD XML syntax."""
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def sidb_layout_to_sqd(layout: SiDBLayout, engine: str = "stream") -> str:
+    """Serialise an SiDB layout in SiQAD XML syntax.
+
+    The default ``"stream"`` engine builds the document with a flat
+    string builder — one append per dot, no DOM tree.  The
+    ``"reference"`` engine is the retained original (ElementTree +
+    minidom pretty-print, which materialises the whole document twice);
+    both emit byte-identical XML, which the differential tests and the
+    scalability bench oracle assert.
+    """
+    if engine == "reference":
+        return _to_sqd_reference(layout)
+    if engine != "stream":
+        raise ValueError(f"unknown .sqd writer engine {engine!r}")
+    name = _escape_text(layout.name or "sidb_layout")
+    parts: list[str] = [
+        '<?xml version="1.0" ?>\n'
+        "<siqad>\n"
+        "    <program>\n"
+        "        <file_purpose>save</file_purpose>\n"
+        f"        <name>{name}</name>\n"
+        "    </program>\n"
+        "    <design>\n"
+    ]
+    dots = sorted(layout.dots)
+    if not dots:
+        parts.append('        <layer type="DB"/>\n')
+    else:
+        parts.append('        <layer type="DB">\n')
+        input_labels = layout.input_labels
+        output_labels = layout.output_labels
+        for dot in dots:
+            n, m, l = dot
+            parts.append(
+                "            <dbdot>\n"
+                "                <layer_id>2</layer_id>\n"
+                f'                <latcoord n="{n}" m="{m}" l="{l}"/>\n'
+            )
+            label = input_labels.get(dot)
+            role = "input"
+            if label is None:
+                label = output_labels.get(dot)
+                role = "output"
+            if label:
+                parts.append(
+                    f'                <label type="{role}">{_escape_text(label)}</label>\n'
+                )
+            parts.append("            </dbdot>\n")
+        parts.append("        </layer>\n")
+    parts.append("    </design>\n</siqad>\n")
+    return "".join(parts)
+
+
+def _to_sqd_reference(layout: SiDBLayout) -> str:
+    """The retained original writer — the byte-equality oracle."""
     root = ET.Element("siqad")
     program = ET.SubElement(root, "program")
     ET.SubElement(program, "file_purpose").text = "save"

@@ -21,6 +21,117 @@ from ..networks.logic_network import GateType, LogicNetwork
 from .clocking import OPEN, ClockingScheme, neighbor_tables
 from .coordinates import Tile, Topology, adjacent, neighbors
 
+#: Above this many positions per layer the occupancy arrays switch to a
+#: sparse dict backend.  Sparse-ortho canvases for ISCAS85/EPFL circuits
+#: are O(n²) tiles with only O(n) occupied — materialising the dense
+#: flat lists for an 11k-gate circuit costs gigabytes before the layout
+#: is even placed.  Small layouts keep the dense lists: direct list
+#: indexing is faster than dict probing on the A*/SAT hot paths.
+DENSE_AREA_LIMIT = 1 << 20
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix63(value: int) -> int:
+    """Deterministic 63-bit hash word (splitmix64 finalizer, top bit cut)."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) >> 1
+
+
+class _LazyZobrist:
+    """On-demand Zobrist table for sparse-backed layouts.
+
+    The dense table is ``4 * width * height`` random words — far too
+    large to materialise for a sparse canvas.  This stand-in speaks the
+    same ``table[index]`` protocol but derives each word arithmetically
+    from the seed, caching only the words actually touched.  Digests are
+    in-memory routing-cache keys, never serialized, so the sparse and
+    dense tables need not produce identical words.
+    """
+
+    __slots__ = ("_seed", "_cache")
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._cache: dict[int, int] = {}
+
+    def __getitem__(self, index: int) -> int:
+        word = self._cache.get(index)
+        if word is None:
+            word = _splitmix63((self._seed << 20) ^ index)
+            self._cache[index] = word
+        return word
+
+
+class _SparseLayer:
+    """Dict-backed stand-in for one dense flat occupancy list.
+
+    Speaks the ``layer[index]`` / ``layer[index] = gate`` protocol of
+    the dense ``list`` layers — including ``layer[index] = None`` to
+    clear a position — so direct ``_grid`` consumers (the router, the
+    exact engine's frontier scans) work unchanged on layouts whose
+    bounding canvas is too large to materialise densely.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: dict[int, LayoutGate] | None = None) -> None:
+        self._cells: dict[int, LayoutGate] = cells if cells is not None else {}
+
+    def __getitem__(self, index: int) -> LayoutGate | None:
+        return self._cells.get(index)
+
+    def __setitem__(self, index: int, gate: LayoutGate | None) -> None:
+        if gate is None:
+            self._cells.pop(index, None)
+        else:
+            self._cells[index] = gate
+
+    def copy(self) -> "_SparseLayer":
+        return _SparseLayer(dict(self._cells))
+
+
+def _raster_key(tile: Tile) -> tuple[int, int, int]:
+    return (tile.y, tile.x, tile.z)
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """A maximal straight run of chained wire segments.
+
+    ``tiles`` lists the run in signal order; consecutive tiles advance
+    by the same ground-projection step (``dx``, ``dy``), the crossing
+    layer is free to hop mid-run (L-path wires drop to ``z = 1`` over
+    occupied ground tiles).  Produced by
+    :meth:`GateLayout.wire_segments`; every wire of a layout belongs to
+    exactly one segment.
+    """
+
+    tiles: tuple[Tile, ...]
+    dx: int
+    dy: int
+
+    @property
+    def start(self) -> Tile:
+        return self.tiles[0]
+
+    @property
+    def end(self) -> Tile:
+        return self.tiles[-1]
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def horizontal(self) -> bool:
+        return self.dy == 0 and self.dx != 0
+
+    @property
+    def vertical(self) -> bool:
+        return self.dx == 0 and self.dy != 0
+
 
 @dataclass(frozen=True)
 class LayoutGate:
@@ -77,10 +188,9 @@ class GateLayout:
         # Flat per-layer occupancy arrays (index ``y * width + x``): the
         # hot-path read side of the structure.  ``_tiles`` stays the
         # canonical insertion-ordered view for iteration/serialisation.
-        self._grid: list[list[LayoutGate | None]] = [
-            [None] * (width * height),
-            [None] * (width * height),
-        ]
+        # Above DENSE_AREA_LIMIT the layers are sparse dicts speaking
+        # the same indexing protocol (see :class:`_SparseLayer`).
+        self._grid = self._make_grid(width, height)
         self._ground_occupied = 0
         self._border_occupied = 0
         #: Reusable A* search arena, owned by the router (see
@@ -109,6 +219,16 @@ class GateLayout:
         else:
             self._clock_tables = None
 
+    @staticmethod
+    def _make_grid(width: int, height: int):
+        if width * height > DENSE_AREA_LIMIT:
+            return [_SparseLayer(), _SparseLayer()]
+        return [[None] * (width * height), [None] * (width * height)]
+
+    def uses_sparse_grid(self) -> bool:
+        """True when the occupancy arrays use the sparse dict backend."""
+        return isinstance(self._grid[0], _SparseLayer)
+
     # -- geometry ------------------------------------------------------------
 
     def in_bounds(self, tile: Tile) -> bool:
@@ -123,7 +243,7 @@ class GateLayout:
                 raise ValueError(f"cannot shrink: tile {tile} occupied")
         self.width = width
         self.height = height
-        self._grid = [[None] * (width * height), [None] * (width * height)]
+        self._grid = self._make_grid(width, height)
         for tile, gate in self._tiles.items():
             self._grid[tile.z][tile.y * width + tile.x] = gate
         self._border_occupied = sum(
@@ -249,11 +369,17 @@ class GateLayout:
         :meth:`rollback` — suitable as a key for routing caches.
         """
         if self._zobrist is None:
-            rng = random.Random(0x5EED ^ (self.width << 16) ^ self.height)
-            # Two words per position: base occupancy and "is a wire".
-            self._zobrist = [
-                rng.getrandbits(63) for _ in range(4 * self.width * self.height)
-            ]
+            seed = 0x5EED ^ (self.width << 16) ^ self.height
+            if self.uses_sparse_grid():
+                # The dense table would be 4·w·h words; derive words on
+                # demand instead (digests are process-local cache keys).
+                self._zobrist = _LazyZobrist(seed)
+            else:
+                rng = random.Random(seed)
+                # Two words per position: base occupancy and "is a wire".
+                self._zobrist = [
+                    rng.getrandbits(63) for _ in range(4 * self.width * self.height)
+                ]
             digest = 0
             for tile, gate in self._tiles.items():
                 digest ^= self._zobrist_words(tile, gate)
@@ -274,6 +400,103 @@ class GateLayout:
     def tiles(self):
         """All occupied (tile, element) pairs, in insertion order."""
         return iter(self._tiles.items())
+
+    def sparse_tiles(self):
+        """Occupied (tile, element) pairs in raster order — O(n log n).
+
+        Raster order is (y, x, z): row-major over the ground projection
+        with the crossing layer directly after its ground tile.  The
+        sequence is exactly what :meth:`dense_tiles` yields, but derived
+        from the occupied set alone, never touching empty positions.
+        """
+        tiles = self._tiles
+        for tile in sorted(tiles, key=_raster_key):
+            yield tile, tiles[tile]
+
+    def dense_tiles(self):
+        """Reference raster scan over the full grid — O(area).
+
+        Retained as the oracle for :meth:`sparse_tiles`: it walks every
+        position of both layers in (y, x, z) order and yields the
+        occupied ones, so differential tests can prove the sparse walk
+        visits the same tiles in the same order.
+        """
+        width = self.width
+        ground, above = self._grid[0], self._grid[1]
+        for y in range(self.height):
+            base = y * width
+            for x in range(width):
+                gate = ground[base + x]
+                if gate is not None:
+                    yield Tile(x, y, 0), gate
+                gate = above[base + x]
+                if gate is not None:
+                    yield Tile(x, y, 1), gate
+
+    def wire_segments(self) -> list[WireSegment]:
+        """Run-length decomposition of the wiring — O(wires).
+
+        A wire continues its fanin's segment when the fanin is itself a
+        wire, the ground-projection step is the same as the fanin's own
+        incoming step, and no sibling reader competes for the same
+        straight continuation.  Everything else starts a new segment, so
+        segments are maximal straight chains, each wire belongs to
+        exactly one, and corners/fanouts/crossing entries all break
+        runs.  Segments are returned with their heads in raster order.
+        """
+        tiles = self._tiles
+        readers = self._readers
+        parent: dict[Tile, Tile] = {}
+        successor: dict[Tile, Tile] = {}
+        for tile, gate in tiles.items():
+            if gate.gate_type is not GateType.BUF:
+                continue
+            fanin = gate.fanins[0]
+            fanin_gate = tiles.get(fanin)
+            if fanin_gate is None or fanin_gate.gate_type is not GateType.BUF:
+                continue
+            step = (fanin.x - fanin_gate.fanins[0].x, fanin.y - fanin_gate.fanins[0].y)
+            if (tile.x - fanin.x, tile.y - fanin.y) != step:
+                continue
+            contested = False
+            for sibling in readers.get(fanin, ()):
+                if sibling == tile:
+                    continue
+                other = tiles.get(sibling)
+                if (
+                    other is not None
+                    and other.gate_type is GateType.BUF
+                    and (sibling.x - fanin.x, sibling.y - fanin.y) == step
+                ):
+                    contested = True
+                    break
+            if contested:
+                continue
+            parent[tile] = fanin
+            successor[fanin] = tile
+        heads = sorted(
+            (
+                tile
+                for tile, gate in tiles.items()
+                if gate.gate_type is GateType.BUF and tile not in parent
+            ),
+            key=_raster_key,
+        )
+        segments: list[WireSegment] = []
+        for head in heads:
+            run = [head]
+            while True:
+                nxt = successor.get(run[-1])
+                if nxt is None:
+                    break
+                run.append(nxt)
+            if len(run) > 1:
+                dx, dy = run[1].x - run[0].x, run[1].y - run[0].y
+            else:
+                fanin = tiles[head].fanins[0]
+                dx, dy = head.x - fanin.x, head.y - fanin.y
+            segments.append(WireSegment(tuple(run), dx, dy))
+        return segments
 
     def pis(self) -> list[Tile]:
         return list(self._pis)
@@ -358,6 +581,31 @@ class GateLayout:
         if fanin.__class__ is not Tile:
             fanin = Tile(*fanin)
         return self._place(tile, LayoutGate(GateType.BUF, (fanin,)))
+
+    def create_wire_run(self, positions, fanin: Tile) -> Tile:
+        """Place a straight run of wire segments in one call.
+
+        ``positions`` are ground-projection ``(x, y)`` coordinates in
+        signal order; each segment chains off the previous one (the
+        first reads ``fanin``).  A segment lands on the ground layer
+        unless that position is occupied, falling back to the crossing
+        layer; if both layers are taken a ``ValueError`` is raised and
+        the partial run stays placed (callers running under a journal
+        roll it back).  Returns the last tile placed — ``fanin`` when
+        ``positions`` is empty.
+
+        This is the run-length emission path of sparse ortho's L-path
+        router: one call per straight leg instead of a per-tile loop of
+        ``is_occupied``/``create_wire`` pairs.
+        """
+        previous = fanin if fanin.__class__ is Tile else Tile(*fanin)
+        ground = self._grid[0]
+        width = self.width
+        buf = GateType.BUF
+        for x, y in positions:
+            z = 1 if ground[y * width + x] is not None else 0
+            previous = self._place(Tile(x, y, z), LayoutGate(buf, (previous,)))
+        return previous
 
     # -- mutation ---------------------------------------------------------------------
 
@@ -524,14 +772,19 @@ class GateLayout:
     def fanout_degree(self, tile: Tile) -> int:
         return len(self.readers(tile))
 
-    def topological_tiles(self) -> list[Tile]:
+    def topological_tiles(self, order_source=None) -> list[Tile]:
         """Occupied tiles in dataflow topological order.
 
-        Raises ``ValueError`` if the connectivity graph has a cycle
-        (possible on feedback-capable schemes with broken wiring).
+        ``order_source`` optionally fixes the seed/scan order with an
+        iterable of (tile, element) pairs — e.g. :meth:`sparse_tiles`
+        for an insertion-history-independent raster ordering; the
+        default is insertion order.  Raises ``ValueError`` if the
+        connectivity graph has a cycle (possible on feedback-capable
+        schemes with broken wiring).
         """
+        pairs = self._tiles.items() if order_source is None else order_source
         indegree: dict[Tile, int] = {}
-        for tile, gate in self._tiles.items():
+        for tile, gate in pairs:
             indegree[tile] = len(gate.fanins)
         ready = [t for t, d in indegree.items() if d == 0]
         order: list[Tile] = []
@@ -567,7 +820,9 @@ class GateLayout:
 
     # -- extraction ----------------------------------------------------------------------
 
-    def extract_network(self, collapse_wires: bool = True) -> LogicNetwork:
+    def extract_network(
+        self, collapse_wires: bool = True, engine: str = "sparse"
+    ) -> LogicNetwork:
         """Rebuild the implemented :class:`LogicNetwork` for verification.
 
         With ``collapse_wires`` (the default) wire segments and fanout
@@ -578,14 +833,30 @@ class GateLayout:
         verification cost proportional to gate count rather than wire
         count.  Pass ``collapse_wires=False`` for the structural 1:1
         extraction (one node per occupied tile).
+
+        The ``"sparse"`` engine (default) orders the emission by the
+        raster walk of the occupied set (:meth:`sparse_tiles`) and the
+        ``"reference"`` engine by the retained dense grid scan
+        (:meth:`dense_tiles`); the walks yield the same sequence, so the
+        two engines produce node-for-node identical networks — the
+        differential relation the ``sparse_agreement`` oracle asserts.
+        ``"insertion"`` keeps the legacy insertion-ordered emission.
         """
+        if engine == "sparse":
+            order = self.topological_tiles(self.sparse_tiles())
+        elif engine == "reference":
+            order = self.topological_tiles(self.dense_tiles())
+        elif engine == "insertion":
+            order = self.topological_tiles()
+        else:
+            raise ValueError(f"unknown extraction engine {engine!r}")
         ntk = LogicNetwork(self.name)
         signal: dict[Tile, int] = {}
         # PIs first, in placement order, so the network interface matches
         # the specification the layout was generated from.
         for tile in self._pis:
             signal[tile] = ntk.create_pi(self._tiles[tile].name)
-        for tile in self.topological_tiles():
+        for tile in order:
             gate = self._tiles[tile]
             t = gate.gate_type
             if t is GateType.PI:
@@ -673,7 +944,10 @@ class GateLayout:
         out._pos = list(self._pos)
         out._zones = dict(self._zones)
         out._readers = {k: list(v) for k, v in self._readers.items()}
-        out._grid = [list(layer) for layer in self._grid]
+        out._grid = [
+            layer.copy() if isinstance(layer, _SparseLayer) else list(layer)
+            for layer in self._grid
+        ]
         out._ground_occupied = self._ground_occupied
         out._border_occupied = self._border_occupied
         return out

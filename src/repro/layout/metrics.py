@@ -105,15 +105,73 @@ def throughput(layout: GateLayout) -> int:
     return worst + 1
 
 
-def compute_metrics(layout: GateLayout) -> LayoutMetrics:
-    """All metrics of a layout in one pass-friendly record."""
+def _critical_path_and_throughput(layout: GateLayout) -> tuple[int, int]:
+    """Both timing figures from one shared topological pass.
+
+    Depths here use the critical-path convention (sources at 1); the
+    throughput convention (sources at 0) shifts every tile's depth by
+    the same constant, so reconvergence imbalances — and therefore the
+    throughput — are unchanged.
+    """
+    phases = layout.scheme.num_phases
+    depth: dict = {}
+    best = 0
+    worst = 0
+    tiles = layout._tiles
+    for tile in layout.topological_tiles():
+        gate = tiles[tile]
+        if gate.fanins:
+            fanin_depths = [depth[f] for f in gate.fanins]
+            d = 1 + max(fanin_depths)
+            if len(fanin_depths) > 1:
+                imbalance = (max(fanin_depths) - min(fanin_depths)) // phases
+                if imbalance > worst:
+                    worst = imbalance
+        else:
+            d = 1
+        depth[tile] = d
+        if gate.is_po and d > best:
+            best = d
+    return best, worst + 1
+
+
+def compute_metrics(layout: GateLayout, engine: str = "sparse") -> LayoutMetrics:
+    """All metrics of a layout in one pass-friendly record.
+
+    The default ``"sparse"`` engine makes a single counting pass over
+    the occupied tiles and shares one topological pass between the
+    critical path and the throughput.  The ``"reference"`` engine is the
+    retained original — one pass per figure — and the differential
+    oracle the fast engine is proven bit-identical against.
+    """
     width, height = layout.bounding_box()
+    if engine == "reference":
+        return metrics_from_counts(
+            width=width,
+            height=height,
+            num_gates=layout.num_gates(),
+            num_wires=layout.num_wires(),
+            num_crossings=layout.num_crossings(),
+            critical_path=critical_path_length(layout),
+            throughput=throughput(layout),
+        )
+    if engine != "sparse":
+        raise ValueError(f"unknown metrics engine {engine!r}")
+    gates = wires = crossings = 0
+    for tile, gate in layout.tiles():
+        if gate.is_wire:
+            wires += 1
+        elif gate.is_logic or gate.is_fanout:
+            gates += 1
+        if tile.z == 1:
+            crossings += 1
+    critical_path, tp = _critical_path_and_throughput(layout)
     return metrics_from_counts(
         width=width,
         height=height,
-        num_gates=layout.num_gates(),
-        num_wires=layout.num_wires(),
-        num_crossings=layout.num_crossings(),
-        critical_path=critical_path_length(layout),
-        throughput=throughput(layout),
+        num_gates=gates,
+        num_wires=wires,
+        num_crossings=crossings,
+        critical_path=critical_path,
+        throughput=tp,
     )

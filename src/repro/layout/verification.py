@@ -58,8 +58,20 @@ def check_layout(
     layout: GateLayout,
     max_fanout: int = 2,
     require_border_io: bool = False,
+    engine: str = "sparse",
 ) -> DrcReport:
-    """Run all design-rule checks over ``layout``."""
+    """Run all design-rule checks over ``layout``.
+
+    The default ``"sparse"`` engine performs one pass over the occupied
+    tiles, probing the occupied set and reader map directly.  The
+    ``"reference"`` engine is the retained original — one full pass per
+    rule — and the oracle the fast engine is proven bit-identical
+    against (same violation/warning strings, same order).
+    """
+    if engine == "sparse":
+        return _check_sparse(layout, max_fanout, require_border_io)
+    if engine != "reference":
+        raise ValueError(f"unknown DRC engine {engine!r}")
     report = DrcReport()
     _check_structure(layout, report)
     _check_entry_sides(layout, report)
@@ -69,6 +81,107 @@ def check_layout(
     _check_io(layout, report, require_border_io)
     _check_dataflow(layout, report)
     return report
+
+
+def _check_sparse(
+    layout: GateLayout, max_fanout: int, require_border_io: bool
+) -> DrcReport:
+    """One occupied-tile pass producing the reference engine's exact output.
+
+    Each rule appends to its own list during the shared loop; the lists
+    are concatenated in the reference engine's rule order, so the
+    resulting report is string-for-string identical.
+    """
+    report = DrcReport()
+    tiles = layout._tiles
+    readers = layout._readers
+    topology = layout.topology
+    structure: list[str] = []
+    entry_sides: list[str] = []
+    clocking: list[str] = []
+    fanout_capacity: list[str] = []
+    crossings: list[str] = []
+    for tile, gate in tiles.items():
+        gate_type = gate.gate_type
+        fanins = gate.fanins
+        # Rule: structure (arity, duplicate fanins, adjacency).
+        if len(fanins) != gate_type.arity:
+            structure.append(
+                f"{tile}: {gate_type.value} has {len(fanins)} fanins, "
+                f"expected {gate_type.arity}"
+            )
+        if len(set(fanins)) != len(fanins):
+            structure.append(f"{tile}: duplicate fanin references")
+        tile_ground = tile.ground
+        for fanin in fanins:
+            if fanin not in tiles:
+                structure.append(f"{tile}: fanin {fanin} is an empty tile")
+                continue
+            fanin_ground = fanin.ground
+            if (
+                not adjacent(topology, fanin_ground, tile_ground)
+                and fanin_ground != tile_ground
+            ):
+                structure.append(f"{tile}: fanin {fanin} is not adjacent")
+        # Rule: distinct entry sides.
+        if len(fanins) >= 2:
+            sides = [f.ground for f in fanins]
+            if len(set(sides)) != len(sides):
+                entry_sides.append(
+                    f"{tile}: multiple fanins enter through the same side"
+                )
+        # Rule: clocking.
+        for fanin in fanins:
+            if fanin not in tiles:
+                continue
+            if fanin.ground == tile_ground:
+                # Vertical (inter-layer) hop on the same tile: used when a
+                # crossing wire descends; zones coincide by construction.
+                continue
+            if not layout.is_incoming_clocked(tile, fanin):
+                clocking.append(
+                    f"{tile} (zone {layout.zone(tile)}): fanin {fanin} "
+                    f"(zone {layout.zone(fanin)}) violates clocking"
+                )
+        # Rule: fanout capacity.
+        bucket = readers.get(tile)
+        degree = len(bucket) if bucket is not None else 0
+        if gate_type is GateType.PO:
+            if degree:
+                fanout_capacity.append(f"{tile}: PO is read by {degree} tile(s)")
+        elif gate_type is GateType.FANOUT:
+            if degree > max_fanout:
+                fanout_capacity.append(
+                    f"{tile}: fanout degree {degree} exceeds {max_fanout}"
+                )
+        elif degree > 1:
+            fanout_capacity.append(f"{tile}: {gate_type.value} drives {degree} readers")
+        # Rule: crossings.
+        if tile.z == 1:
+            if gate_type is not GateType.BUF:
+                crossings.append(f"{tile}: crossing layer hosts {gate_type.value}")
+            if tile.ground not in tiles:
+                crossings.append(f"{tile}: crossing wire above an empty ground tile")
+    report.violations += structure
+    report.violations += entry_sides
+    report.violations += clocking
+    report.violations += fanout_capacity
+    report.violations += crossings
+    _check_io(layout, report, require_border_io)
+    _check_dataflow_sparse(layout, report)
+    return report
+
+
+def _check_dataflow_sparse(layout: GateLayout, report: DrcReport) -> None:
+    try:
+        layout.topological_tiles()
+    except ValueError as exc:
+        report.add(str(exc))
+        return
+    readers = layout._readers
+    for tile, gate in layout.tiles():
+        if gate.gate_type is not GateType.PO and not readers.get(tile):
+            report.warn(f"{tile}: {gate.gate_type.value} output is unread")
 
 
 def _check_structure(layout: GateLayout, report: DrcReport) -> None:

@@ -143,8 +143,21 @@ def _delete_lines(
     """
     row_set = set(rows)
     col_set = set(columns)
-    new_y = [y - sum(1 for r in rows if r < y) for y in range(layout.height)]
-    new_x = [x - sum(1 for c in columns if c < x) for x in range(layout.width)]
+    # Prefix-count shift: new index = old index minus deletions strictly
+    # before it.  Built in O(height + width) — the naive per-position
+    # recount is quadratic when thousands of highway lines go at once.
+    new_y = [0] * layout.height
+    removed = 0
+    for y in range(layout.height):
+        new_y[y] = y - removed
+        if y in row_set:
+            removed += 1
+    new_x = [0] * layout.width
+    removed = 0
+    for x in range(layout.width):
+        new_x[x] = x - removed
+        if x in col_set:
+            removed += 1
 
     bypass: dict[Tile, Tile] = {}
     for tile, gate in layout._tiles.items():

@@ -59,6 +59,11 @@ class OrthoParams:
     #: node cannot be placed.  ``False`` goes straight to sparse mode,
     #: which is the right choice for large networks.
     compact: bool = True
+    #: Prepared-network element count above which compact mode is
+    #: skipped even when ``compact`` is set.  Compact placement A*-routes
+    #: on a dense canvas and degrades far beyond this size, while sparse
+    #: HV mode is linear — ISCAS85/EPFL-scale runs go straight to it.
+    compact_gate_limit: int = 200
     #: Keep native two-input gates (XOR/XNOR/NAND/NOR) instead of
     #: decomposing to AOIG — for Bestagon-targeted runs (45° flow).
     keep_two_input: bool = False
@@ -84,10 +89,15 @@ def orthogonal_layout(network: LogicNetwork, params: OrthoParams | None = None) 
     started = time.monotonic()
     ntk = prepare_for_layout(decompose_to_aoig(network, params.keep_two_input))
     if params.compact:
-        try:
-            return _run_compact(ntk, params, started)
-        except OrthoError:
-            pass
+        elements = (
+            sum(1 for u in ntk.topological_order() if not ntk.is_constant(u))
+            + ntk.num_pos()
+        )
+        if elements <= params.compact_gate_limit:
+            try:
+                return _run_compact(ntk, params, started)
+            except OrthoError:
+                pass
     return _run_sparse(ntk, params, started)
 
 
@@ -307,25 +317,31 @@ def _lay_l_path(layout: GateLayout, source: Tile, target: Tile, kind: str) -> Ti
     sx, sy = source.x, source.y
     tx, ty = target.x, target.y
     if kind == _V:
-        positions = [(sx, y) for y in range(sy + 1, ty + 1)]
-        positions += [(x, ty) for x in range(sx + 1, tx)]
+        legs = (
+            [(sx, y) for y in range(sy + 1, ty + 1)],
+            [(x, ty) for x in range(sx + 1, tx)],
+        )
     else:
-        positions = [(x, sy) for x in range(sx + 1, tx + 1)]
-        positions += [(tx, y) for y in range(sy + 1, ty)]
-    # Straight (pure) edges have their corner *on* the target tile; the
-    # gate goes there, not a wire.
-    positions = [p for p in positions if p != (tx, ty)]
+        legs = (
+            [(x, sy) for x in range(sx + 1, tx + 1)],
+            [(tx, y) for y in range(sy + 1, ty)],
+        )
     previous: Tile = Tile(sx, sy, source.z)
-    for x, y in positions:
-        spot = Tile(x, y, 0)
-        if layout.is_occupied(spot):
-            spot = Tile(x, y, 1)
-            if layout.is_occupied(spot):
-                raise OrthoError(
-                    f"HV discipline violated at ({x},{y}) — both layers occupied"
-                )
-        layout.create_wire(spot, previous)
-        previous = spot
+    for leg in legs:
+        # Straight (pure) edges have their corner *on* the target tile;
+        # the gate goes there, not a wire.
+        positions = [p for p in leg if p != (tx, ty)]
+        if not positions:
+            continue
+        try:
+            # One run-length call per straight leg: the layout places the
+            # whole segment (with per-tile crossing-layer fallback) in a
+            # single pass instead of an is_occupied/create_wire loop.
+            previous = layout.create_wire_run(positions, previous)
+        except ValueError as exc:
+            raise OrthoError(
+                f"HV discipline violated routing ({sx},{sy})→({tx},{ty}): {exc}"
+            ) from exc
     return previous
 
 

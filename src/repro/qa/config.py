@@ -49,6 +49,7 @@ DIFF_PLO = "optimization"  # incremental vs. reference post-layout optimization
 DIFF_ANALYTICS = "analytics"  # columnar vs. per-artifact metrics/DRC/signature
 DIFF_SERVE = "serve"  # HTTP endpoints vs. in-process serving API
 DIFF_EXACT_PARALLEL = "exact-parallel"  # parallel vs. sequential exact engine
+DIFF_SPARSE = "sparse"  # sparse occupied-tile fast paths vs. dense references
 
 
 class FlowSkipped(Exception):
@@ -250,6 +251,8 @@ def _sample_exact(rng: random.Random) -> FlowConfig:
             differential = DIFF_SERVE
         elif roll < 0.40:
             differential = DIFF_EXACT_PARALLEL
+        elif roll < 0.48:
+            differential = DIFF_SPARSE
     optimizations: tuple[str, ...] = ()
     library = "Bestagon" if hexagonal else "QCA ONE"
     if not hexagonal and scheme == "2DDWave" and rng.random() < 0.25:
@@ -291,6 +294,8 @@ def _sample_2ddwave(rng: random.Random, algorithm: str) -> FlowConfig:
             differential = DIFF_ANALYTICS
         elif roll < 0.30:
             differential = DIFF_SERVE
+        elif roll < 0.40:
+            differential = DIFF_SPARSE
     return FlowConfig(
         algorithm=algorithm,
         scheme="2DDWave",

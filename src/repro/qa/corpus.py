@@ -28,6 +28,7 @@ from .oracles import (
     check_exact_baseline,
     check_exact_parallel,
     check_serve_agreement,
+    check_sparse_agreement,
     run_oracle_stack,
 )
 
@@ -111,6 +112,8 @@ def replay_case(case: CrashCase) -> OracleFailure | None:
             return check_analytics_agreement(network, flow)
         if case.oracle == "serve_agreement":
             return check_serve_agreement(network, flow)
+        if case.oracle == "sparse_agreement":
+            return check_sparse_agreement(network, flow)
         layout = flow.run(network)
     except FlowSkipped as exc:
         return OracleFailure(case.oracle, f"flow no longer yields a layout: {exc}")

@@ -24,6 +24,7 @@ from .config import (
     DIFF_EXACT_PARALLEL,
     DIFF_PLO,
     DIFF_SERVE,
+    DIFF_SPARSE,
     FlowConfig,
     FlowSkipped,
     sample_flow,
@@ -38,6 +39,7 @@ from .oracles import (
     check_exact_parallel,
     check_plo_agreement,
     check_serve_agreement,
+    check_sparse_agreement,
     run_oracle_stack,
 )
 from .shrink import shrink_network
@@ -156,6 +158,10 @@ def fuzz_one(
             failure = check_serve_agreement(network, flow)
             if failure is not None:
                 return flow, spec, network, failure, None
+        if flow.differential == DIFF_SPARSE:
+            failure = check_sparse_agreement(network, flow)
+            if failure is not None:
+                return flow, spec, network, failure, None
 
         layout = flow.run(network)
     except FlowSkipped as exc:
@@ -186,6 +192,8 @@ def _still_fails(flow: FlowConfig, oracle: str, num_vectors: int):
                 return check_analytics_agreement(network, flow) is not None
             if oracle == "serve_agreement":
                 return check_serve_agreement(network, flow) is not None
+            if oracle == "sparse_agreement":
+                return check_sparse_agreement(network, flow) is not None
             layout = flow.run(network)
         except FlowSkipped:
             return False

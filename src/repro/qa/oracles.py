@@ -32,7 +32,14 @@ Each oracle inspects one invariant the benchmark database relies on:
 * ``serve_agreement`` — after the fuzzed layout is admitted into a
   database, the HTTP ``/v1/query``/``/v1/best``/artifact endpoints of
   :mod:`repro.serve` return byte-identical payloads to the in-process
-  serving API (differential runs only).
+  serving API (differential runs only);
+* ``sparse_agreement`` — every sparse occupied-tile fast path agrees
+  with its retained dense reference on the layout the flow produced:
+  the sparse walk equals the dense grid scan, wire segments partition
+  the wire tiles, metrics/DRC/extraction sparse engines are
+  bit-identical to the reference engines, and the block-stamping cell
+  compilers plus streaming ``.qca``/``.sqd`` writers reproduce the
+  per-tile reference output byte-for-byte (differential runs only).
 
 Oracles return ``None`` on success or a human-readable message on
 failure; the driver wraps messages into :class:`OracleFailure` records.
@@ -68,6 +75,7 @@ ORACLE_NAMES = (
     "plo_agreement",
     "analytics_agreement",
     "serve_agreement",
+    "sparse_agreement",
 )
 
 
@@ -416,6 +424,94 @@ def check_serve_agreement(network: LogicNetwork, flow) -> OracleFailure | None:
             server.close()
             thread.join(timeout=10)
             db.store.close()
+    return None
+
+
+def check_sparse_agreement(network: LogicNetwork, flow) -> OracleFailure | None:
+    """Every sparse fast path must agree with its dense reference.
+
+    Runs the flow once and differentially exercises the whole
+    occupied-tile stack on the resulting layout: walk order, wire
+    segment decomposition, metrics, DRC, layout→network extraction,
+    block-stamped cell compilation and the streaming serialisers — each
+    against the retained reference implementation.
+    """
+    from ..layout.metrics import compute_metrics
+    from ..networks.logic_network import GateType
+    from .config import FlowSkipped
+
+    try:
+        layout = replace(flow, differential=None).run(network)
+    except FlowSkipped:
+        return None
+
+    def fail(message: str) -> OracleFailure:
+        return OracleFailure("sparse_agreement", f"{message} ({flow.describe()})")
+
+    sparse_walk = list(layout.sparse_tiles())
+    dense_walk = list(layout.dense_tiles())
+    if sparse_walk != dense_walk:
+        return fail(
+            f"sparse walk ({len(sparse_walk)} tiles) != dense scan "
+            f"({len(dense_walk)} tiles)"
+        )
+    segment_tiles = [t for seg in layout.wire_segments() for t in seg.tiles]
+    wire_tiles = {
+        tile for tile, gate in layout.tiles() if gate.gate_type is GateType.BUF
+    }
+    if len(segment_tiles) != len(set(segment_tiles)) or set(segment_tiles) != wire_tiles:
+        return fail(
+            f"wire segments do not partition the {len(wire_tiles)} wire tiles "
+            f"({len(segment_tiles)} segment tiles)"
+        )
+    sparse_metrics = compute_metrics(layout, engine="sparse")
+    reference_metrics = compute_metrics(layout, engine="reference")
+    if sparse_metrics != reference_metrics:
+        return fail(f"metrics {sparse_metrics} != reference {reference_metrics}")
+    sparse_drc = check_layout(layout, engine="sparse")
+    reference_drc = check_layout(layout, engine="reference")
+    if (
+        sparse_drc.violations != reference_drc.violations
+        or sparse_drc.warnings != reference_drc.warnings
+    ):
+        return fail(
+            f"DRC reports differ: sparse {sparse_drc.summary()!r} != "
+            f"reference {reference_drc.summary()!r}"
+        )
+    sparse_net = layout.extract_network(engine="sparse")
+    reference_net = layout.extract_network(engine="reference")
+    if (
+        list(sparse_net._nodes) != list(reference_net._nodes)
+        or sparse_net._pis != reference_net._pis
+        or sparse_net._pos != reference_net._pos
+    ):
+        return fail("sparse and reference network extraction diverge")
+    if flow.library == "QCA ONE" and layout.topology is Topology.CARTESIAN:
+        from ..gatelibs.qca_one import apply_qca_one
+
+        fast = apply_qca_one(layout, engine="blocks")
+        reference = apply_qca_one(layout, engine="reference")
+        if fast.cells != reference.cells or fast.zones != reference.zones:
+            return fail("block-stamped QCA ONE compile != per-tile reference")
+        if cell_layout_to_qca(fast, engine="stream") != cell_layout_to_qca(
+            reference, engine="reference"
+        ):
+            return fail("streaming .qca writer != reference writer bytes")
+    if flow.library == "Bestagon" and layout.topology is Topology.HEXAGONAL_EVEN_ROW:
+        from ..gatelibs.bestagon import apply_bestagon
+
+        fast = apply_bestagon(layout, engine="blocks")
+        reference = apply_bestagon(layout, engine="reference")
+        if (
+            fast.dots != reference.dots
+            or fast.input_labels != reference.input_labels
+            or fast.output_labels != reference.output_labels
+        ):
+            return fail("block-stamped Bestagon compile != per-tile reference")
+        if sidb_layout_to_sqd(fast, engine="stream") != sidb_layout_to_sqd(
+            reference, engine="reference"
+        ):
+            return fail("streaming .sqd writer != reference writer bytes")
     return None
 
 

@@ -66,9 +66,22 @@ class SchedulerParams:
     poll_interval: float = 0.05
     #: Stable identity in journal/queue files; default host-pid.
     node_id: str | None = None
+    #: Optional ``(stats, label)`` callback invoked when a task starts
+    #: executing (``label`` names it, e.g. ``"iscas85/c432 (ortho)"``)
+    #: and after every merge (``label`` is ``None``).  Purely
+    #: observational — exceptions it raises are swallowed.
+    progress: object | None = None
 
     def resolved_node_id(self) -> str:
         return self.node_id or f"{socket.gethostname()}-{os.getpid()}"
+
+    def notify(self, stats: "SchedulerStats", label: str | None) -> None:
+        if self.progress is None:
+            return
+        try:
+            self.progress(stats, label)
+        except Exception:  # noqa: BLE001 - reporting must never kill a sweep
+            pass
 
 
 @dataclass
@@ -145,6 +158,10 @@ def _failure_result(flow: str, status: str, reason: str, seconds: float = 0.0):
     )
 
 
+def _task_label(task) -> str:
+    return f"{task.suite}/{task.name} ({task.flow})"
+
+
 def _exact_group(flow: str) -> str | None:
     """Portfolio group an exact flow competes in, ``None`` otherwise."""
     if flow.startswith("exact:"):
@@ -208,6 +225,7 @@ class _Merger:
             self._done.add(self._next)
             self._next += 1
             self._since_flush += 1
+            self.sched.notify(self.stats, None)
             if self._since_flush >= max(1, self.sched.flush_every):
                 self.flush()
 
@@ -444,6 +462,7 @@ def _run_pool(run: _Run, live: list[int]) -> None:
                 if queue is not None:
                     queue.mark_execution(key)
                 pool.dispatch(idx, task)
+                sched.notify(run.stats, _task_label(task))
             # 2. Collect completions.
             waiting = pool.busy_count > 0 or bool(remote)
             for status, idx, payload in pool.poll(
@@ -546,6 +565,7 @@ def _execute_inline(run: _Run, idx: int) -> None:
         return
     if run.queue is not None:
         run.queue.mark_execution(key)
+    run.sched.notify(run.stats, _task_label(task))
     try:
         # Looked up through the module so tests (and the crash-injection
         # driver) can wrap the task function.

@@ -1,0 +1,79 @@
+"""Determinism of the synthetic ISCAS85/EPFL network builders.
+
+The generation sweep relies on one invariant: ``spec.build(cap)`` is a
+pure function of (spec, cap) — same seed, same circuit, bit-for-bit,
+in-process and across interpreter runs.  These tests pin the invariant
+with in-process rebuilds and a subprocess rebuild whose serialized
+Verilog hash must match the parent's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite.registry import all_benchmarks
+from repro.networks.simulation import output_signature
+from repro.networks.verilog import network_to_verilog
+
+#: Representatives of each synthetic suite, small enough to rebuild in
+#: a subprocess without slowing the tier-1 run.
+CASES = [("iscas85", "c432"), ("iscas85", "c17"), ("epfl", "ctrl"), ("epfl", "dec")]
+
+_SUBPROCESS_SNIPPET = """\
+import hashlib, sys
+sys.path.insert(0, {src!r})
+from repro.benchsuite.registry import all_benchmarks
+from repro.networks.verilog import network_to_verilog
+spec = next(s for s in all_benchmarks() if s.suite == {suite!r} and s.name == {name!r})
+network = spec.build({cap!r})
+digest = hashlib.sha256(network_to_verilog(network).encode()).hexdigest()
+print(network.num_gates(), digest)
+"""
+
+
+def _spec(suite: str, name: str):
+    return next(s for s in all_benchmarks() if s.suite == suite and s.name == name)
+
+
+@pytest.mark.parametrize("suite,name", CASES)
+def test_same_seed_rebuilds_identical_network(suite, name):
+    spec = _spec(suite, name)
+    first = spec.build(64)
+    second = spec.build(64)
+    assert first.num_gates() == second.num_gates()
+    assert output_signature(first) == output_signature(second)
+    assert network_to_verilog(first) == network_to_verilog(second)
+
+
+@pytest.mark.parametrize("suite,name", [("iscas85", "c432"), ("epfl", "ctrl")])
+def test_network_hash_stable_across_processes(suite, name):
+    spec = _spec(suite, name)
+    network = spec.build(64)
+    expected_gates = network.num_gates()
+    expected_digest = hashlib.sha256(
+        network_to_verilog(network).encode()
+    ).hexdigest()
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    snippet = _SUBPROCESS_SNIPPET.format(src=src, suite=suite, name=name, cap=64)
+    completed = subprocess.run(
+        [sys.executable, "-c", snippet],
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=120,
+    )
+    gates, digest = completed.stdout.split()
+    assert int(gates) == expected_gates
+    assert digest == expected_digest
+
+
+def test_node_cap_is_part_of_the_identity():
+    spec = _spec("iscas85", "c432")
+    capped = spec.build(64)
+    fuller = spec.build(128)
+    assert capped.num_gates() != fuller.num_gates()

@@ -136,6 +136,76 @@ def test_show_command(tmp_path, capsys):
     assert "tiles" in out
 
 
+def test_generate_progress_printer_tty():
+    import io
+
+    from repro.cli import _GenerateProgress
+    from repro.scheduler import SchedulerStats
+
+    class _Tty(io.StringIO):
+        def isatty(self):
+            return True
+
+    stream = _Tty()
+    progress = _GenerateProgress(stream)
+    assert progress.tty
+    progress.min_interval = 0.0
+    stats = SchedulerStats(queued=2)
+    progress(stats, "iscas85/c432 (ortho)")
+    stats.done = 1
+    progress(stats, "iscas85/c432 (ortho_opt)")
+    stats.done = 2
+    progress(stats, None)
+    text = stream.getvalue()
+    assert "\r" in text  # in-place rewrite on a TTY
+    assert "generate [0/2]" in text
+    assert "iscas85/c432 (ortho)" in text
+    assert "eta" in text  # shown once at least one task executed
+    final = text.rsplit("\r", 1)[1]
+    assert final.rstrip() == "generate [2/2]"
+    assert final.endswith("\n")
+
+
+def test_generate_progress_printer_plain_stream_and_errors():
+    import io
+
+    from repro.cli import _GenerateProgress
+    from repro.scheduler import SchedulerParams, SchedulerStats
+
+    stream = io.StringIO()
+    progress = _GenerateProgress(stream)
+    assert not progress.tty
+    stats = SchedulerStats(queued=1)
+    progress(stats, "epfl/ctrl (ortho)")
+    progress(stats, "epfl/ctrl (ortho)")  # throttled on non-TTY streams
+    stats.done = 1
+    progress(stats, None)  # completion always emits
+    lines = stream.getvalue().splitlines()
+    assert lines == ["generate [0/1] epfl/ctrl (ortho)", "generate [1/1]"]
+
+    # A raising callback must never kill the sweep.
+    def _explode(stats, label):
+        raise RuntimeError("boom")
+
+    SchedulerParams(progress=_explode).notify(stats, "x")
+
+
+def test_generate_quiet_suppresses_progress(tmp_path, capsys):
+    db = str(tmp_path / "db")
+    code = main(
+        [
+            "generate", "--database", db,
+            "--benchmark", "trindade16/mux21",
+            "--library", "QCA ONE",
+            "--exact-timeout", "1",
+            "--quiet",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "generate [" not in captured.err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
